@@ -1,0 +1,25 @@
+"""Helpers shared by the benchmark modules (fidelity knobs via environment).
+
+Two environment variables control the fidelity/runtime trade-off:
+
+* ``REPRO_BENCH_TRIALS`` — Monte-Carlo trials per spinal operating point
+  (default 30; EXPERIMENTS.md numbers use the default).
+* ``REPRO_BENCH_LDPC_FRAMES`` — frames per LDPC (SNR, config) point
+  (default 40).
+"""
+
+from __future__ import annotations
+
+import os
+
+__all__ = ["bench_trials", "bench_ldpc_frames"]
+
+
+def bench_trials(default: int = 30) -> int:
+    """Number of Monte-Carlo trials per spinal measurement point."""
+    return int(os.environ.get("REPRO_BENCH_TRIALS", default))
+
+
+def bench_ldpc_frames(default: int = 40) -> int:
+    """Number of frames per LDPC Monte-Carlo point."""
+    return int(os.environ.get("REPRO_BENCH_LDPC_FRAMES", default))

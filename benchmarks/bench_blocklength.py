@@ -1,0 +1,28 @@
+"""E9: behaviour across message lengths ("similar results for other block lengths").
+
+Measures the spinal rate for several message lengths at three SNRs and
+reports each length's finite-blocklength fixed-rate bound alongside, showing
+how the SNR threshold at which the bound overtakes the rateless code shifts
+with length (Section 5's closing remark).
+"""
+
+from __future__ import annotations
+
+from _bench_utils import bench_trials
+
+from repro.experiments.blocklength import blocklength_experiment, blocklength_table
+from repro.experiments.runner import SpinalRunConfig
+
+
+def _run():
+    base = SpinalRunConfig(n_trials=bench_trials(25))
+    return blocklength_experiment(
+        payload_lengths=(16, 24, 48, 96),
+        snr_values_db=(0.0, 10.0, 20.0),
+        base_config=base,
+    )
+
+
+def test_blocklength_sweep(benchmark, reporter):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    reporter.add("Message length sweep (E9)", blocklength_table(rows))

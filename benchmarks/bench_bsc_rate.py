@@ -1,0 +1,30 @@
+"""E4 (Theorem 2): spinal codes over the binary symmetric channel.
+
+Theorem 2 states the ML decoder achieves BSC capacity; this bench measures
+the bit-mode spinal code with the practical decoder across crossover
+probabilities and reports the achieved fraction of ``1 − H2(p)``.
+"""
+
+from __future__ import annotations
+
+from _bench_utils import bench_trials
+
+from repro.core.params import SpinalParams
+from repro.experiments.runner import SpinalRunConfig
+from repro.experiments.theorems import theorem2_bsc_experiment, theorem2_table
+
+
+def _run():
+    config = SpinalRunConfig(
+        payload_bits=32,
+        params=SpinalParams(k=4, bit_mode=True),
+        n_trials=bench_trials(),
+    )
+    return theorem2_bsc_experiment(
+        crossover_probabilities=(0.01, 0.02, 0.05, 0.1, 0.2, 0.3), config=config
+    )
+
+
+def test_theorem2_bsc_rates(benchmark, reporter):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    reporter.add("Theorem 2 — BSC rates (E4)", theorem2_table(rows))

@@ -1,0 +1,27 @@
+"""E11: constellation mapping ablation (linear vs offset-linear vs Gaussian).
+
+Section 6 conjectures that a Gaussian-shaped mapping would improve on the
+linear map of Eq. (3) (part of the Theorem-1 gap is shaping loss).  This
+bench measures all three implemented maps across SNR.
+"""
+
+from __future__ import annotations
+
+from _bench_utils import bench_trials
+
+from repro.experiments.constellation_maps import constellation_experiment, constellation_table
+from repro.experiments.runner import SpinalRunConfig
+
+
+def _run():
+    base = SpinalRunConfig(n_trials=bench_trials(25))
+    return constellation_experiment(
+        constellation_kinds=("linear", "offset-linear", "truncated-gaussian"),
+        snr_values_db=(0.0, 10.0, 20.0),
+        base_config=base,
+    )
+
+
+def test_constellation_maps(benchmark, reporter):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    reporter.add("Constellation mapping ablation (E11)", constellation_table(rows))

@@ -1,0 +1,22 @@
+"""E8: nonlinearity and codeword-distance properties of the hashed code.
+
+Section 4: flipping a single message bit should make the coded sequence
+diverge as if it were a fresh random codeword.  This bench samples the
+distance distributions (1-bit flips vs random pairs) and the hash avalanche
+score with the Figure 2 code parameters.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.distance import distance_experiment, distance_table
+
+
+def _run():
+    return distance_experiment(
+        n_message_bits=32, k=8, c=10, n_passes=2, n_samples=400
+    )
+
+
+def test_distance_properties(benchmark, reporter):
+    profile = benchmark.pedantic(_run, rounds=1, iterations=1)
+    reporter.add("Nonlinearity / distance profile (E8)", distance_table(profile))

@@ -1,0 +1,23 @@
+"""E13: throughput cost of realistic feedback (Section 6 future work).
+
+Applies perfect, delayed, and per-block feedback models to the measured
+per-packet symbol requirements of the spinal code, quantifying the
+throughput/latency trade-off the paper defers to future work.
+"""
+
+from __future__ import annotations
+
+from _bench_utils import bench_trials
+
+from repro.experiments.feedback import feedback_experiment, feedback_table
+from repro.experiments.runner import SpinalRunConfig
+
+
+def _run():
+    config = SpinalRunConfig(n_trials=max(40, bench_trials()))
+    return feedback_experiment(snr_values_db=(5.0, 15.0), config=config)
+
+
+def test_feedback_overhead(benchmark, reporter):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    reporter.add("Feedback protocol overhead (E13)", feedback_table(rows))

@@ -1,0 +1,30 @@
+"""E1 (Figure 2, analytic curves): Shannon bound and the PPV fixed-block bound.
+
+Regenerates the two non-simulated curves of Figure 2 on the paper's SNR grid
+and benchmarks their evaluation cost (trivial, but it keeps the bound code
+under performance regression watch together with the rest of the harness).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figure2 import (
+    DEFAULT_SNR_GRID_DB,
+    fixed_block_bound_curve,
+    shannon_curve,
+)
+from repro.utils.results import render_table
+
+
+def _bounds_table() -> str:
+    shannon = shannon_curve(DEFAULT_SNR_GRID_DB)
+    ppv = fixed_block_bound_curve(DEFAULT_SNR_GRID_DB)
+    rows = [
+        (snr, c, b)
+        for snr, c, b in zip(DEFAULT_SNR_GRID_DB, shannon.mean_rates(), ppv.mean_rates())
+    ]
+    return render_table(["SNR(dB)", "Shannon bound", "fixed-block bound (n=24, 1e-4)"], rows)
+
+
+def test_figure2_bound_curves(benchmark, reporter):
+    table = benchmark(_bounds_table)
+    reporter.add("Figure 2 — analytic bound curves", table)

@@ -1,0 +1,37 @@
+"""E1 (Figure 2, LDPC baselines): achieved rate of the eight fixed-rate configs.
+
+Regenerates the eight LDPC curves of Figure 2: 648-bit wifi-like codes at
+rates 1/2, 2/3, 3/4 and 5/6 over BPSK / QAM-4 / QAM-16 / QAM-64, decoded with
+40-iteration belief propagation on soft demapper output.  Each curve is the
+nominal spectral efficiency multiplied by the measured frame success rate.
+"""
+
+from __future__ import annotations
+
+from _bench_utils import bench_ldpc_frames
+
+from repro.experiments.figure2 import ldpc_figure2_curves
+from repro.utils.results import render_table
+
+#: The LDPC Monte-Carlo is the slowest part of Figure 2; a 4-dB grid over the
+#: range where the waterfalls live is enough to place every curve.
+SNR_GRID_DB = [float(s) for s in range(-10, 42, 4)]
+
+
+def _ldpc_curves():
+    return ldpc_figure2_curves(
+        snr_values_db=SNR_GRID_DB,
+        n_frames=bench_ldpc_frames(),
+        max_iterations=40,
+        algorithm="sum-product",
+    )
+
+
+def test_figure2_ldpc_baselines(benchmark, reporter):
+    curves = benchmark.pedantic(_ldpc_curves, rounds=1, iterations=1)
+    names = list(curves)
+    rows = []
+    for i, snr_db in enumerate(SNR_GRID_DB):
+        rows.append([snr_db] + [curves[name].points[i].mean_rate for name in names])
+    table = render_table(["SNR(dB)"] + names, rows, float_format="{:.2f}")
+    reporter.add("Figure 2 — LDPC baseline curves (E1)", table)

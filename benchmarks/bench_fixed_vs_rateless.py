@@ -1,0 +1,31 @@
+"""E15: the value of ratelessness itself (rateless vs fixed-rate spinal).
+
+Section 3 notes the code can also run at fixed rates; this bench compares
+the rateless session against the *hindsight-best* fixed-rate spinal
+configuration at each SNR, isolating the gain that comes purely from
+rateless operation (no configuration selection, symbol-granular stopping).
+"""
+
+from __future__ import annotations
+
+from _bench_utils import bench_trials
+
+from repro.experiments.fixed_vs_rateless import (
+    fixed_vs_rateless_experiment,
+    fixed_vs_rateless_table,
+)
+from repro.experiments.runner import SpinalRunConfig
+
+
+def _run():
+    config = SpinalRunConfig(n_trials=bench_trials(25))
+    return fixed_vs_rateless_experiment(
+        snr_values_db=(0.0, 5.0, 10.0, 15.0, 20.0),
+        config=config,
+        n_fixed_frames=max(25, bench_trials(25)),
+    )
+
+
+def test_fixed_vs_rateless(benchmark, reporter):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    reporter.add("Rateless vs hindsight-best fixed-rate spinal (E15)", fixed_vs_rateless_table(rows))

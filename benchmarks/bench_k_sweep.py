@@ -1,0 +1,27 @@
+"""E6: the segment size k — rate ceiling versus decoder cost.
+
+Section 3.1: decoder complexity is exponential in k while the maximum rate
+grows linearly with k.  This bench sweeps k at a fixed SNR and message
+length, reporting both the achieved rate and the number of tree nodes the
+decoder evaluated per delivered message.
+"""
+
+from __future__ import annotations
+
+from _bench_utils import bench_trials
+
+from repro.experiments.k_sweep import k_sweep_experiment, k_sweep_table
+
+
+def _run():
+    return k_sweep_experiment(
+        k_values=(2, 3, 4, 6, 8),
+        snr_db=15.0,
+        payload_bits=24,
+        n_trials=bench_trials(25),
+    )
+
+
+def test_k_sweep(benchmark, reporter):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    reporter.add("Segment size sweep — rate and decoder cost vs k (E6)", k_sweep_table(rows))

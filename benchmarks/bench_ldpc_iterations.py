@@ -1,0 +1,26 @@
+"""E12: LDPC decoder budget ablation (the baseline uses 40 BP iterations).
+
+Sweeps the belief-propagation iteration budget and algorithm for the
+rate-1/2 BPSK configuration near its waterfall, confirming the Figure 2
+baseline is decoded with an adequate (indeed saturating) budget.
+"""
+
+from __future__ import annotations
+
+from _bench_utils import bench_ldpc_frames
+
+from repro.experiments.ldpc_ablation import ldpc_iteration_experiment, ldpc_iteration_table
+
+
+def _run():
+    return ldpc_iteration_experiment(
+        snr_db=0.0,
+        iteration_budgets=(5, 10, 20, 40, 80),
+        algorithms=("sum-product", "min-sum"),
+        n_frames=max(40, bench_ldpc_frames()),
+    )
+
+
+def test_ldpc_iteration_budget(benchmark, reporter):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    reporter.add("LDPC decoder ablation — FER vs BP iterations (E12)", ldpc_iteration_table(rows))

@@ -1,0 +1,27 @@
+"""E10: receiver ADC resolution ablation (the paper quantises to 14 bits).
+
+Sweeps the ADC depth from 4 bits to none and reports the achieved rate,
+confirming the paper's 14-bit choice is transparent and locating the depth
+at which quantisation starts to bite.
+"""
+
+from __future__ import annotations
+
+from _bench_utils import bench_trials
+
+from repro.experiments.quantization import quantization_experiment, quantization_table
+from repro.experiments.runner import SpinalRunConfig
+
+
+def _run():
+    base = SpinalRunConfig(n_trials=bench_trials(25))
+    return quantization_experiment(
+        adc_bit_depths=(4, 6, 8, 10, 14, None),
+        snr_values_db=(10.0, 25.0),
+        base_config=base,
+    )
+
+
+def test_adc_quantization(benchmark, reporter):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    reporter.add("ADC quantisation ablation (E10)", quantization_table(rows))

@@ -1,0 +1,27 @@
+"""E5: graceful scale-down — rate as a function of the decoder beam width B.
+
+Section 3.2/5 of the paper claims that even small B achieves rates close to
+capacity and that performance improves gracefully as B grows.  This bench
+sweeps B from 1 to 256 at three SNRs with the Figure 2 message size.
+"""
+
+from __future__ import annotations
+
+from _bench_utils import bench_trials
+
+from repro.experiments.runner import SpinalRunConfig
+from repro.experiments.scale_down import scale_down_experiment, scale_down_table
+
+
+def _run():
+    base = SpinalRunConfig(n_trials=bench_trials(25))
+    return scale_down_experiment(
+        snr_values_db=(5.0, 10.0, 20.0),
+        beam_widths=(1, 2, 4, 8, 16, 64, 256),
+        base_config=base,
+    )
+
+
+def test_scale_down_beam_width(benchmark, reporter):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    reporter.add("Graceful scale-down — rate vs beam width B (E5)", scale_down_table(rows))

@@ -1,0 +1,26 @@
+"""E3 (Theorem 1): the measured capacity gap versus the Δ ≈ 0.25 bit bound.
+
+Theorem 1 guarantees rates of ``C − ½ log2(πe/6)`` with ML decoding; this
+bench measures the practical decoder's gap to capacity across SNR and
+reports whether it does at least as well as the theorem's guarantee (the
+paper notes it does better at low SNR).
+"""
+
+from __future__ import annotations
+
+from _bench_utils import bench_trials
+
+from repro.experiments.runner import SpinalRunConfig
+from repro.experiments.theorems import theorem1_gap_experiment, theorem1_table
+
+
+def _run():
+    config = SpinalRunConfig(payload_bits=32, n_trials=bench_trials())
+    return theorem1_gap_experiment(
+        snr_values_db=(-5.0, 0.0, 5.0, 10.0, 15.0, 20.0), config=config
+    )
+
+
+def test_theorem1_capacity_gap(benchmark, reporter):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    reporter.add("Theorem 1 — AWGN capacity gap (E3)", theorem1_table(rows))

@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Packetised file transfer with CRC termination and realistic feedback.
+
+The paper's evaluation uses genie termination ("the receiver informs the
+sender as soon as it is able to fully decode") to isolate the code's
+performance.  A real link needs two extra ingredients, both exercised here:
+
+* a CRC inside each framed packet so the receiver can detect success by
+  itself (Section 3.2 suggests exactly this);
+* a feedback protocol so the sender knows when to stop; we compare perfect,
+  delayed and per-block feedback (Section 6 lists this as future work).
+
+The "file" is a pseudo-random byte string split into 3-byte payloads
+(24 bits, the paper's message size).
+
+Run with:  python examples/file_transfer.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import (
+    AWGNChannel,
+    BubbleDecoder,
+    CRC16_CCITT,
+    Framer,
+    RatelessSession,
+    SpinalEncoder,
+    SpinalParams,
+)
+from repro.core.puncturing import TailFirstPuncturing
+from repro.link import BlockFeedback, DelayedFeedback, PerfectFeedback, simulate_link_session
+from repro.theory import awgn_capacity_db
+from repro.utils.bitops import bits_to_bytes, bytes_to_bits
+from repro.utils.rng import spawn_rng
+
+
+def main() -> None:
+    rng = spawn_rng(1234, "file-transfer")
+    snr_db = 12.0
+    payload_bits = 24
+
+    file_bytes = rng.integers(0, 256, size=60, dtype=np.uint8).tobytes()
+    file_bits = bytes_to_bits(file_bytes)
+    n_packets = file_bits.size // payload_bits
+    print(f"Transferring {len(file_bytes)} bytes as {n_packets} packets of "
+          f"{payload_bits} bits over AWGN at {snr_db:.0f} dB "
+          f"(capacity {awgn_capacity_db(snr_db):.2f} bits/symbol)")
+
+    params = SpinalParams(k=8, c=10)
+    encoder = SpinalEncoder(params, puncturing=TailFirstPuncturing())
+    # CRC-16 keeps the false-accept probability negligible even though the
+    # receiver attempts a decode after every symbol; CRC-8 would save 8 bits
+    # of overhead per packet at the cost of roughly a 0.4% false-accept rate
+    # per decode attempt.
+    framer = Framer(payload_bits=payload_bits, k=params.k, crc=CRC16_CCITT)
+    channel = AWGNChannel(snr_db=snr_db, adc_bits=14)
+    session = RatelessSession(
+        encoder,
+        decoder_factory=lambda enc: BubbleDecoder(enc, beam_width=16),
+        channel=channel,
+        framer=framer,
+        termination="crc",
+        count_overhead=True,
+        max_symbols=2048,
+        search="sequential",
+    )
+
+    received_payloads = []
+    symbols_needed = []
+    decode_attempts = 0
+    for packet_index in range(n_packets):
+        payload = file_bits[packet_index * payload_bits : (packet_index + 1) * payload_bits]
+        trial = session.run(payload, rng)
+        if not trial.payload_correct:
+            print(f"  packet {packet_index}: CRC passed on a wrong payload "
+                  "(rare false positive) — a real link would catch it end-to-end")
+        received_payloads.append(trial.decoded_payload)
+        symbols_needed.append(trial.symbols_sent)
+        decode_attempts += trial.decode_attempts
+
+    received_bits = np.concatenate(received_payloads)
+    ok = bits_to_bytes(received_bits) == file_bytes
+    print(f"File reassembled correctly: {ok}")
+    print(f"Mean symbols per packet    : {np.mean(symbols_needed):.1f} "
+          f"(CRC adds {framer.overhead_bits} overhead bits per packet)")
+    print(f"Total decode attempts      : {decode_attempts}")
+
+    print("\n=== Throughput under different feedback protocols ===")
+    models = [
+        PerfectFeedback(),
+        DelayedFeedback(delay_symbols=4),
+        BlockFeedback(block_symbols=8, overhead_symbols=1),
+        BlockFeedback(block_symbols=24, overhead_symbols=1),
+    ]
+    for model in models:
+        link = simulate_link_session(symbols_needed, payload_bits, model)
+        print(f"  {model.describe():38s} throughput {link.throughput_bits_per_symbol:5.2f} "
+              f"bits/symbol (efficiency {link.feedback_efficiency:4.2f})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+"""Uncoded / repetition-coded QPSK reference system.
+
+Not part of the paper's evaluation, but a useful floor in tests and examples:
+any channel code worth its salt should beat repetition coding, and the
+spinal code's low-SNR robustness is easiest to appreciate against it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.modulation.psk import QPSK
+from repro.utils.units import db_to_linear
+
+__all__ = ["RepetitionQpskSystem"]
+
+
+class RepetitionQpskSystem:
+    """QPSK with each symbol repeated ``repetitions`` times and soft combining."""
+
+    def __init__(self, repetitions: int = 1) -> None:
+        if repetitions < 1:
+            raise ValueError(f"repetitions must be at least 1, got {repetitions}")
+        self.repetitions = repetitions
+        self.modulation = QPSK()
+
+    @property
+    def nominal_rate(self) -> float:
+        """Bits per channel use when every bit is received correctly."""
+        return self.modulation.bits_per_symbol / self.repetitions
+
+    def transmit_bits(
+        self, bits: np.ndarray, snr_db: float, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Send bits and return the receiver's hard decisions."""
+        bits = np.asarray(bits, dtype=np.uint8)
+        if bits.size % self.modulation.bits_per_symbol != 0:
+            raise ValueError(
+                f"bit count {bits.size} must be a multiple of "
+                f"{self.modulation.bits_per_symbol}"
+            )
+        noise_energy = 1.0 / db_to_linear(snr_db)
+        symbols = self.modulation.modulate(bits)
+        combined_llrs = np.zeros(bits.size, dtype=np.float64)
+        for _ in range(self.repetitions):
+            noise = np.sqrt(noise_energy / 2.0) * (
+                rng.standard_normal(symbols.size) + 1j * rng.standard_normal(symbols.size)
+            )
+            combined_llrs += self.modulation.demodulate_llr(symbols + noise, noise_energy)
+        return (combined_llrs < 0).astype(np.uint8)
+
+    def bit_error_rate(
+        self, snr_db: float, n_bits: int, rng: np.random.Generator
+    ) -> float:
+        """Monte-Carlo BER at one SNR."""
+        bits_per_symbol = self.modulation.bits_per_symbol
+        n_bits = max(bits_per_symbol, n_bits - n_bits % bits_per_symbol)
+        bits = rng.integers(0, 2, size=n_bits, dtype=np.uint8)
+        decided = self.transmit_bits(bits, snr_db, rng)
+        return float(np.mean(decided != bits))

@@ -1,0 +1,40 @@
+"""Channel models used by the paper's evaluation and by the extensions.
+
+The paper evaluates spinal codes over the complex AWGN channel (Figure 2,
+with 14-bit ADC quantisation at the receiver) and analyses them over the
+binary symmetric channel (Theorem 2).  This package provides those two
+channels plus the supporting cast needed by the examples and extension
+experiments: a binary erasure channel, Rayleigh block fading, time-varying
+SNR traces (for the rate-adaptation comparisons the introduction motivates),
+and the ADC quantiser as a standalone component.
+"""
+
+from repro.channels.awgn import AWGNChannel, TimeVaryingAWGNChannel
+from repro.channels.base import BitChannel, Channel, SymbolChannel
+from repro.channels.bec import BECChannel, ERASURE
+from repro.channels.bsc import BSCChannel
+from repro.channels.fading import RayleighBlockFadingChannel
+from repro.channels.quantize import AdcQuantizer
+from repro.channels.traces import (
+    constant_trace,
+    gilbert_elliott_trace,
+    random_walk_trace,
+    sinusoidal_trace,
+)
+
+__all__ = [
+    "Channel",
+    "SymbolChannel",
+    "BitChannel",
+    "AWGNChannel",
+    "TimeVaryingAWGNChannel",
+    "BSCChannel",
+    "BECChannel",
+    "ERASURE",
+    "RayleighBlockFadingChannel",
+    "AdcQuantizer",
+    "constant_trace",
+    "random_walk_trace",
+    "gilbert_elliott_trace",
+    "sinusoidal_trace",
+]

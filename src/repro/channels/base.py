@@ -1,0 +1,46 @@
+"""Channel interface.
+
+A channel turns transmitted values into received values, consuming
+randomness from an explicitly passed generator so that every experiment is
+reproducible from its seed.  Channels may be stateful (e.g. a fading channel
+advances through its SNR trace as symbols flow through it); the rateless
+session calls :meth:`Channel.reset` at the start of each trial.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+__all__ = ["Channel", "SymbolChannel", "BitChannel"]
+
+
+class Channel(ABC):
+    """Base class for all channel models."""
+
+    #: Either ``"symbol"`` (complex I/Q inputs) or ``"bit"`` (0/1 inputs).
+    domain: str = "symbol"
+
+    @abstractmethod
+    def transmit(self, values: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        """Pass ``values`` through the channel and return what is received."""
+
+    def reset(self) -> None:
+        """Reset per-trial state (no-op for memoryless channels)."""
+
+    def describe(self) -> str:
+        """Short human-readable description for experiment metadata."""
+        return type(self).__name__
+
+
+class SymbolChannel(Channel):
+    """Marker base class for channels taking complex constellation points."""
+
+    domain = "symbol"
+
+
+class BitChannel(Channel):
+    """Marker base class for channels taking 0/1 coded bits."""
+
+    domain = "bit"

@@ -1,0 +1,45 @@
+"""Binary erasure channel.
+
+Not used by the paper's own evaluation (spinal codes target AWGN and BSC),
+but the related-work discussion contrasts spinal codes with Raptor/LT codes,
+which are capacity-achieving for the BEC; the erasure channel is provided so
+examples can make that comparison concrete and so the LDPC substrate can be
+exercised under erasures.
+
+Erased positions are marked with the sentinel :data:`ERASURE` (the integer
+2, which is never a valid bit).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.channels.base import BitChannel
+
+__all__ = ["BECChannel", "ERASURE"]
+
+#: Marker placed in the received sequence where a bit was erased.
+ERASURE = np.uint8(2)
+
+
+class BECChannel(BitChannel):
+    """Memoryless binary erasure channel with erasure probability ``p``."""
+
+    def __init__(self, erasure_probability: float) -> None:
+        if not 0.0 <= erasure_probability < 1.0:
+            raise ValueError(
+                f"erasure probability must be in [0, 1), got {erasure_probability}"
+            )
+        self.erasure_probability = float(erasure_probability)
+
+    def transmit(self, values: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        values = np.asarray(values, dtype=np.uint8)
+        if values.size and values.max() > 1:
+            raise ValueError("BEC inputs must be 0/1 bits")
+        received = values.copy()
+        erased = rng.random(values.shape) < self.erasure_probability
+        received[erased] = ERASURE
+        return received
+
+    def describe(self) -> str:
+        return f"BEC(p={self.erasure_probability:g})"

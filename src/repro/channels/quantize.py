@@ -1,0 +1,60 @@
+"""Receiver-side ADC quantisation.
+
+The paper's Figure 2 experiment notes: "To simulate quantization of an ADC,
+the receiver quantizes each dimension to 14 bits."  This module models that
+ADC: a uniform mid-rise quantiser with ``bits`` bits per real dimension over
+the range ``[-full_scale, +full_scale]``, with saturation outside the range.
+Experiment E10 sweeps the bit depth to confirm 14 bits is effectively
+transparent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["AdcQuantizer"]
+
+
+@dataclass(frozen=True)
+class AdcQuantizer:
+    """Uniform quantiser applied independently to I and Q.
+
+    Parameters
+    ----------
+    bits:
+        ADC resolution in bits per dimension (the paper uses 14).
+    full_scale:
+        Inputs are clipped to ``[-full_scale, +full_scale]`` before
+        quantisation; choose it a few standard deviations above the expected
+        received amplitude.
+    """
+
+    bits: int
+    full_scale: float
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.bits <= 32:
+            raise ValueError(f"ADC bits must be in [1, 32], got {self.bits}")
+        if self.full_scale <= 0:
+            raise ValueError(f"full_scale must be positive, got {self.full_scale}")
+
+    @property
+    def step(self) -> float:
+        """Quantisation step size."""
+        return 2.0 * self.full_scale / (1 << self.bits)
+
+    def quantize_real(self, values: np.ndarray) -> np.ndarray:
+        """Quantise a real-valued array."""
+        values = np.asarray(values, dtype=np.float64)
+        clipped = np.clip(values, -self.full_scale, self.full_scale - self.step)
+        indices = np.floor((clipped + self.full_scale) / self.step)
+        return -self.full_scale + (indices + 0.5) * self.step
+
+    def quantize(self, values: np.ndarray) -> np.ndarray:
+        """Quantise a complex array, each dimension independently."""
+        values = np.asarray(values)
+        if np.iscomplexobj(values):
+            return self.quantize_real(values.real) + 1j * self.quantize_real(values.imag)
+        return self.quantize_real(values)

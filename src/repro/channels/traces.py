@@ -1,0 +1,98 @@
+"""SNR trace generators for time-varying channel experiments.
+
+The examples and the rate-adaptation baseline need plausible "channel
+quality over time" sequences: slow random walks (mobility), two-state
+Gilbert–Elliott bursts (interference), and periodic fades.  These are pure
+functions of an explicit RNG so every figure is reproducible.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "constant_trace",
+    "random_walk_trace",
+    "gilbert_elliott_trace",
+    "sinusoidal_trace",
+]
+
+
+def constant_trace(snr_db: float, length: int) -> np.ndarray:
+    """A constant-SNR trace (degenerates to the plain AWGN channel)."""
+    if length <= 0:
+        raise ValueError(f"length must be positive, got {length}")
+    return np.full(length, float(snr_db))
+
+
+def random_walk_trace(
+    start_snr_db: float,
+    length: int,
+    step_db: float,
+    rng: np.random.Generator,
+    min_snr_db: float = -10.0,
+    max_snr_db: float = 40.0,
+) -> np.ndarray:
+    """Reflected Gaussian random walk between ``min_snr_db`` and ``max_snr_db``.
+
+    Models slow channel drift (e.g. pedestrian mobility).  ``step_db`` is the
+    per-symbol standard deviation of the SNR increment.
+    """
+    if length <= 0:
+        raise ValueError(f"length must be positive, got {length}")
+    if min_snr_db >= max_snr_db:
+        raise ValueError("min_snr_db must be below max_snr_db")
+    steps = rng.normal(0.0, step_db, size=length)
+    trace = np.empty(length)
+    current = float(np.clip(start_snr_db, min_snr_db, max_snr_db))
+    for i, step in enumerate(steps):
+        current += step
+        # Reflect at the boundaries to keep the walk inside the range.
+        if current > max_snr_db:
+            current = 2 * max_snr_db - current
+        if current < min_snr_db:
+            current = 2 * min_snr_db - current
+        current = float(np.clip(current, min_snr_db, max_snr_db))
+        trace[i] = current
+    return trace
+
+
+def gilbert_elliott_trace(
+    good_snr_db: float,
+    bad_snr_db: float,
+    length: int,
+    rng: np.random.Generator,
+    p_good_to_bad: float = 0.05,
+    p_bad_to_good: float = 0.2,
+) -> np.ndarray:
+    """Two-state Markov (Gilbert–Elliott) trace modelling bursty interference."""
+    if length <= 0:
+        raise ValueError(f"length must be positive, got {length}")
+    for name, p in (("p_good_to_bad", p_good_to_bad), ("p_bad_to_good", p_bad_to_good)):
+        if not 0.0 <= p <= 1.0:
+            raise ValueError(f"{name} must be a probability, got {p}")
+    trace = np.empty(length)
+    in_good_state = True
+    for i in range(length):
+        trace[i] = good_snr_db if in_good_state else bad_snr_db
+        if in_good_state and rng.random() < p_good_to_bad:
+            in_good_state = False
+        elif not in_good_state and rng.random() < p_bad_to_good:
+            in_good_state = True
+    return trace
+
+
+def sinusoidal_trace(
+    mean_snr_db: float,
+    amplitude_db: float,
+    period_symbols: int,
+    length: int,
+    phase: float = 0.0,
+) -> np.ndarray:
+    """Deterministic periodic fading (e.g. rotating-machinery multipath)."""
+    if length <= 0:
+        raise ValueError(f"length must be positive, got {length}")
+    if period_symbols <= 0:
+        raise ValueError(f"period_symbols must be positive, got {period_symbols}")
+    t = np.arange(length)
+    return mean_snr_db + amplitude_db * np.sin(2 * np.pi * t / period_symbols + phase)

@@ -1,0 +1,201 @@
+"""Command-line interface for quick measurements without writing a script.
+
+Installed (or run via ``python -m repro.cli``) it exposes the most common
+operations:
+
+* ``rate``     — measure the spinal rate at one or more AWGN SNRs;
+* ``bsc``      — measure the bit-mode spinal rate at one or more crossover
+  probabilities;
+* ``figure2``  — regenerate a coarse Figure 2 (spinal + bounds, optional LDPC);
+* ``ldpc``     — measure one fixed-rate LDPC configuration across SNRs.
+
+Every command prints a plain-text table (and optionally an ASCII chart), so
+the CLI is usable over ssh on a machine with nothing but this package and
+numpy/scipy installed.
+"""
+
+from __future__ import annotations
+
+import argparse
+from fractions import Fraction
+
+from repro.baselines.ldpc_system import FixedRateLdpcSystem, LdpcConfig
+from repro.core.params import SpinalParams
+from repro.experiments.figure2 import figure2_table
+from repro.experiments.runner import (
+    SpinalRunConfig,
+    run_spinal_bsc_curve,
+    run_spinal_curve,
+)
+from repro.theory.capacity import awgn_capacity_db, bsc_capacity
+from repro.utils.asciiplot import ascii_plot
+from repro.utils.results import render_table
+from repro.utils.rng import spawn_rng
+
+__all__ = ["build_parser", "main"]
+
+
+def _add_common_spinal_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--payload-bits", type=int, default=24, help="message size in bits")
+    parser.add_argument("--k", type=int, default=8, help="segment size in bits")
+    parser.add_argument("--c", type=int, default=10, help="bits per constellation dimension")
+    parser.add_argument("--beam-width", "-B", type=int, default=16, help="decoder beam width")
+    parser.add_argument("--trials", type=int, default=20, help="Monte-Carlo trials per point")
+    parser.add_argument("--seed", type=int, default=20111114, help="base random seed")
+    parser.add_argument(
+        "--puncturing",
+        choices=("none", "symbol", "strided", "tail-first"),
+        default="tail-first",
+        help="puncturing schedule",
+    )
+    parser.add_argument("--plot", action="store_true", help="also print an ASCII chart")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the top-level argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Rateless spinal codes (HotNets 2011) — measurement CLI",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    rate = subparsers.add_parser("rate", help="spinal rate over AWGN at given SNRs")
+    rate.add_argument("snrs", type=float, nargs="+", help="SNR values in dB")
+    _add_common_spinal_arguments(rate)
+
+    bsc = subparsers.add_parser("bsc", help="bit-mode spinal rate over a BSC")
+    bsc.add_argument("crossovers", type=float, nargs="+", help="crossover probabilities")
+    _add_common_spinal_arguments(bsc)
+
+    figure2 = subparsers.add_parser("figure2", help="regenerate a coarse Figure 2")
+    figure2.add_argument("--snr-min", type=float, default=-10.0)
+    figure2.add_argument("--snr-max", type=float, default=40.0)
+    figure2.add_argument("--snr-step", type=float, default=5.0)
+    figure2.add_argument("--trials", type=int, default=15)
+    figure2.add_argument("--with-ldpc", action="store_true", help="include the LDPC baselines")
+    figure2.add_argument("--ldpc-frames", type=int, default=20)
+    figure2.add_argument("--plot", action="store_true")
+
+    ldpc = subparsers.add_parser("ldpc", help="achieved rate of one LDPC configuration")
+    ldpc.add_argument("snrs", type=float, nargs="+", help="SNR values in dB")
+    ldpc.add_argument("--rate", type=str, default="1/2", help="code rate (1/2, 2/3, 3/4, 5/6)")
+    ldpc.add_argument(
+        "--modulation",
+        choices=("BPSK", "QAM-4", "QAM-16", "QAM-64"),
+        default="QAM-16",
+    )
+    ldpc.add_argument("--frames", type=int, default=40)
+    ldpc.add_argument("--iterations", type=int, default=40)
+    ldpc.add_argument("--seed", type=int, default=20111114)
+
+    return parser
+
+
+def _spinal_config(args: argparse.Namespace, bit_mode: bool) -> SpinalRunConfig:
+    params = SpinalParams(k=args.k, c=args.c if not bit_mode else 10, bit_mode=bit_mode)
+    return SpinalRunConfig(
+        payload_bits=args.payload_bits,
+        params=params,
+        beam_width=args.beam_width,
+        puncturing=args.puncturing,
+        n_trials=args.trials,
+        seed=args.seed,
+    )
+
+
+def _command_rate(args: argparse.Namespace) -> str:
+    config = _spinal_config(args, bit_mode=False)
+    sweep = run_spinal_curve(config, args.snrs)
+    rows = [
+        (snr, awgn_capacity_db(snr), point.mean_rate, point.rate_std_error)
+        for snr, point in zip(args.snrs, sweep.points)
+    ]
+    output = render_table(["SNR(dB)", "capacity", "rate (b/sym)", "stderr"], rows)
+    if args.plot and len(args.snrs) >= 2:
+        output += "\n\n" + ascii_plot(
+            args.snrs,
+            {"capacity": [r[1] for r in rows], "spinal": [r[2] for r in rows]},
+            x_label="SNR (dB)",
+            y_label="bits/symbol",
+        )
+    return output
+
+
+def _command_bsc(args: argparse.Namespace) -> str:
+    config = _spinal_config(args, bit_mode=True)
+    sweep = run_spinal_bsc_curve(config, args.crossovers)
+    rows = [
+        (p, bsc_capacity(p), point.mean_rate, point.rate_std_error)
+        for p, point in zip(args.crossovers, sweep.points)
+    ]
+    output = render_table(["p", "capacity", "rate (b/bit)", "stderr"], rows)
+    if args.plot and len(args.crossovers) >= 2:
+        output += "\n\n" + ascii_plot(
+            args.crossovers,
+            {"capacity": [r[1] for r in rows], "spinal": [r[2] for r in rows]},
+            x_label="crossover probability",
+            y_label="bits/channel bit",
+        )
+    return output
+
+
+def _command_figure2(args: argparse.Namespace) -> str:
+    snrs = []
+    snr = args.snr_min
+    while snr <= args.snr_max + 1e-9:
+        snrs.append(round(snr, 6))
+        snr += args.snr_step
+    config = SpinalRunConfig(n_trials=args.trials)
+    data = figure2_table(
+        snr_values_db=snrs,
+        spinal_config=config,
+        include_ldpc=args.with_ldpc,
+        ldpc_frames=args.ldpc_frames,
+    )
+    output = data.as_table()
+    crossover = data.spinal_beats_fixed_block_until_db()
+    if crossover is not None:
+        output += f"\nspinal beats the n=24 fixed-block bound up to {crossover:.1f} dB"
+    if args.plot:
+        output += "\n\n" + ascii_plot(
+            snrs,
+            {
+                "Shannon": data.shannon.mean_rates(),
+                "spinal": data.spinal.mean_rates(),
+            },
+            x_label="SNR (dB)",
+            y_label="bits/symbol",
+        )
+    return output
+
+
+def _command_ldpc(args: argparse.Namespace) -> str:
+    config = LdpcConfig(Fraction(args.rate), args.modulation)
+    system = FixedRateLdpcSystem(config, max_iterations=args.iterations)
+    rows = []
+    for snr in args.snrs:
+        rng = spawn_rng(args.seed, "cli-ldpc", snr)
+        fer = system.frame_error_rate(snr, args.frames, rng)
+        rows.append((snr, system.nominal_rate, fer, system.nominal_rate * (1 - fer)))
+    return render_table(
+        ["SNR(dB)", "nominal rate", "FER", "achieved rate"], rows
+    )
+
+
+def main(argv: list[str] | None = None) -> str:
+    """Entry point; returns the rendered output (also printed to stdout)."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    commands = {
+        "rate": _command_rate,
+        "bsc": _command_bsc,
+        "figure2": _command_figure2,
+        "ldpc": _command_ldpc,
+    }
+    output = commands[args.command](args)
+    print(output)
+    return output
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via tests calling main()
+    main()

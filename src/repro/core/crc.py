@@ -1,0 +1,86 @@
+"""Cyclic redundancy checks used for rateless termination.
+
+Section 3.2 of the paper: "The sender continues to send successive passes
+until the receiver determines that the message has been decoded correctly,
+using a CRC at the end of each pass, for example."  The framing layer
+(:mod:`repro.core.framing`) appends one of these CRCs to the payload so the
+receiver can terminate without a genie.
+
+The implementation is a straightforward bitwise CRC over bit arrays (the
+library's internal representation), with standard generator polynomials.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Crc", "CRC8", "CRC16_CCITT", "CRC32"]
+
+
+@dataclass(frozen=True)
+class Crc:
+    """A CRC defined by its width, polynomial, and initial register value.
+
+    Parameters
+    ----------
+    width:
+        Number of CRC bits appended to the message.
+    polynomial:
+        Generator polynomial with the leading (x^width) term omitted,
+        e.g. ``0x07`` for CRC-8-ATM.
+    initial:
+        Initial shift-register contents.
+    name:
+        Human-readable identifier used in reports.
+    """
+
+    width: int
+    polynomial: int
+    initial: int = 0
+    name: str = "crc"
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.width <= 64:
+            raise ValueError(f"CRC width must be in [1, 64], got {self.width}")
+        if self.polynomial >= (1 << self.width):
+            raise ValueError("polynomial has more bits than the CRC width")
+
+    def compute(self, bits: np.ndarray) -> np.ndarray:
+        """Return the CRC of ``bits`` as a bit array of length ``width``."""
+        bits = np.asarray(bits, dtype=np.uint8)
+        if bits.ndim != 1:
+            raise ValueError(f"CRC input must be 1-D, got shape {bits.shape}")
+        register = self.initial
+        top_bit = 1 << (self.width - 1)
+        mask = (1 << self.width) - 1
+        for bit in bits:
+            register ^= int(bit) << (self.width - 1)
+            if register & top_bit:
+                register = ((register << 1) ^ self.polynomial) & mask
+            else:
+                register = (register << 1) & mask
+        out = np.empty(self.width, dtype=np.uint8)
+        for i in range(self.width):
+            out[i] = (register >> (self.width - 1 - i)) & 1
+        return out
+
+    def append(self, bits: np.ndarray) -> np.ndarray:
+        """Return ``bits`` with its CRC appended."""
+        bits = np.asarray(bits, dtype=np.uint8)
+        return np.concatenate([bits, self.compute(bits)])
+
+    def check(self, bits_with_crc: np.ndarray) -> bool:
+        """Validate a message produced by :meth:`append`."""
+        bits_with_crc = np.asarray(bits_with_crc, dtype=np.uint8)
+        if bits_with_crc.size < self.width:
+            return False
+        payload = bits_with_crc[: -self.width]
+        crc = bits_with_crc[-self.width :]
+        return bool(np.array_equal(self.compute(payload), crc))
+
+
+CRC8 = Crc(width=8, polynomial=0x07, name="crc8")
+CRC16_CCITT = Crc(width=16, polynomial=0x1021, initial=0xFFFF, name="crc16-ccitt")
+CRC32 = Crc(width=32, polynomial=0x04C11DB7, initial=0xFFFFFFFF, name="crc32")

@@ -1,0 +1,99 @@
+"""Parameter bundle describing one spinal code.
+
+The paper's code has a small number of parameters: the segment size ``k``
+(bits hashed per spine step), the constellation density ``c`` (bits per I/Q
+dimension), the hash-family seed shared by sender and receiver, and the
+choice of constellation mapping.  Figure 2 uses ``k = 8``, ``c = 10`` with
+the linear map; the decoder adds the beam width ``B`` which is *not* part of
+the code itself (any receiver beam width can decode any spinal code), so it
+lives on the decoder, not here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.core.constellation import Constellation, make_constellation
+from repro.core.hashing import SaltedHashFamily
+
+__all__ = ["SpinalParams"]
+
+
+@dataclass(frozen=True)
+class SpinalParams:
+    """Immutable description of a spinal code.
+
+    Attributes
+    ----------
+    k:
+        Message segment size in bits (the paper expects a small constant,
+        ``<= 8`` in practice; decoder cost grows as ``2^k``).
+    c:
+        Bits per constellation dimension; each transmitted symbol encodes
+        ``2c`` pseudo-random bits.  Ignored when ``bit_mode`` is true.
+    seed:
+        Hash-family index shared by encoder and decoder.
+    constellation:
+        One of ``"linear"`` (Eq. (3)), ``"offset-linear"``,
+        ``"truncated-gaussian"``.
+    average_power:
+        Average transmitted energy per complex symbol.  Kept at 1.0 so that
+        SNR is simply the reciprocal of the channel noise energy.
+    bit_mode:
+        When true the encoder emits one coded *bit* per spine value per pass
+        (the paper's binary-channel variant, evaluated over a BSC) instead of
+        an I/Q symbol.
+    """
+
+    k: int = 8
+    c: int = 10
+    seed: int = 0x5EEDC0DE
+    constellation: str = "linear"
+    average_power: float = 1.0
+    bit_mode: bool = False
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.k <= 16:
+            raise ValueError(f"k must be in [1, 16], got {self.k}")
+        if not self.bit_mode and not 2 <= self.c <= 16:
+            raise ValueError(f"c must be in [2, 16], got {self.c}")
+        if self.average_power <= 0:
+            raise ValueError(f"average_power must be positive, got {self.average_power}")
+
+    # -- derived quantities --------------------------------------------------
+    @property
+    def coded_bits_per_symbol(self) -> int:
+        """Pseudo-random bits consumed per channel use (2c, or 1 in bit mode)."""
+        return 1 if self.bit_mode else 2 * self.c
+
+    def n_segments(self, n_message_bits: int) -> int:
+        """Number of spine values for a message of ``n_message_bits`` bits."""
+        if n_message_bits <= 0:
+            raise ValueError(f"message length must be positive, got {n_message_bits}")
+        if n_message_bits % self.k != 0:
+            raise ValueError(
+                f"message length {n_message_bits} is not a multiple of k={self.k}; "
+                "use repro.core.framing.Framer to pad"
+            )
+        return n_message_bits // self.k
+
+    def max_rate_per_pass(self) -> float:
+        """Maximum achievable rate without puncturing, in bits per channel use.
+
+        Decoding after a single un-punctured pass conveys ``k`` bits per
+        symbol (Section 3.1); puncturing can exceed this.
+        """
+        return float(self.k)
+
+    # -- factories -------------------------------------------------------------
+    def make_hash_family(self) -> SaltedHashFamily:
+        """Instantiate the shared hash family ``h`` for these parameters."""
+        return SaltedHashFamily(seed=self.seed, k=self.k)
+
+    def make_constellation(self) -> Constellation:
+        """Instantiate the constellation mapping function ``f``."""
+        return make_constellation(self.constellation, self.c, self.average_power)
+
+    def with_(self, **changes) -> "SpinalParams":
+        """Return a copy with the given fields replaced (sweep convenience)."""
+        return replace(self, **changes)

@@ -1,0 +1,161 @@
+"""Puncturing schedules: which spine positions are sent in each subpass.
+
+Without puncturing, every pass transmits one symbol per spine value, so the
+maximum achievable rate is ``k`` bits/symbol (decode after one pass).
+Section 3.1 notes that the authors "actually obtain rates higher than k
+bits/symbol using puncturing, where the transmitter does not send each
+successive spine value in every pass".
+
+A schedule partitions the symbol stream into *subpasses*: each subpass is a
+set of spine positions whose next symbol is transmitted.  The receiver may
+attempt to decode after every subpass, so finer-grained schedules both raise
+the achievable peak rate and smooth the rate-vs-SNR staircase.
+
+Schedules are deliberately stateless: :meth:`subpass_positions` is a pure
+function of the subpass index, so encoder and decoder trivially agree on
+which (position, pass) pair each received value corresponds to.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+__all__ = [
+    "PuncturingSchedule",
+    "NoPuncturing",
+    "SymbolBySymbol",
+    "StridedPuncturing",
+    "TailFirstPuncturing",
+]
+
+
+class PuncturingSchedule(ABC):
+    """Maps a subpass index to the spine positions transmitted in it."""
+
+    @abstractmethod
+    def subpass_positions(self, subpass_index: int, n_segments: int) -> np.ndarray:
+        """Spine positions (0-based) transmitted in subpass ``subpass_index``.
+
+        The same position may appear in many subpasses over time; its
+        ``pass`` index (how many symbols of it have been sent before) is
+        tracked by the encoder/receiver, not by the schedule.
+        """
+
+    def symbols_per_cycle(self, n_segments: int) -> int:
+        """Symbols transmitted in one full cycle of the schedule.
+
+        A *cycle* is the smallest number of subpasses after which every
+        position has been transmitted the same number of times.  For the
+        un-punctured schedule a cycle is one pass (``n_segments`` symbols).
+        """
+        count = 0
+        for j in range(self.subpasses_per_cycle(n_segments)):
+            count += int(self.subpass_positions(j, n_segments).size)
+        return count
+
+    @abstractmethod
+    def subpasses_per_cycle(self, n_segments: int) -> int:
+        """Number of subpasses per cycle (see :meth:`symbols_per_cycle`)."""
+
+    def describe(self) -> str:
+        """Short human-readable description for experiment metadata."""
+        return type(self).__name__
+
+
+class NoPuncturing(PuncturingSchedule):
+    """The paper's basic schedule: each subpass is one full pass."""
+
+    def subpass_positions(self, subpass_index: int, n_segments: int) -> np.ndarray:
+        if subpass_index < 0:
+            raise ValueError("subpass_index must be non-negative")
+        return np.arange(n_segments, dtype=np.int64)
+
+    def subpasses_per_cycle(self, n_segments: int) -> int:
+        return 1
+
+
+class SymbolBySymbol(PuncturingSchedule):
+    """Finest granularity: each subpass transmits a single spine position.
+
+    Positions are sent in natural order within each pass.  This does not
+    change the code at all — it only lets the receiver attempt decoding
+    after every individual symbol, which removes the "staircase"
+    quantisation of the achieved rate.
+    """
+
+    def subpass_positions(self, subpass_index: int, n_segments: int) -> np.ndarray:
+        if subpass_index < 0:
+            raise ValueError("subpass_index must be non-negative")
+        return np.array([subpass_index % n_segments], dtype=np.int64)
+
+    def subpasses_per_cycle(self, n_segments: int) -> int:
+        return n_segments
+
+
+class StridedPuncturing(PuncturingSchedule):
+    """8-way-style strided puncturing.
+
+    A cycle consists of ``stride`` subpasses.  Subpass ``j`` transmits the
+    positions congruent to ``order[j]`` modulo ``stride``, where ``order`` is
+    a bit-reversed permutation of ``0..stride-1`` so that consecutive
+    subpasses cover well-separated parts of the spine.  The last spine
+    position may additionally be included in every subpass
+    (``always_include_last``), because its value depends on the *entire*
+    message and is therefore the most informative single symbol.
+    """
+
+    def __init__(self, stride: int = 8, always_include_last: bool = True) -> None:
+        if stride < 2:
+            raise ValueError(f"stride must be at least 2, got {stride}")
+        self.stride = stride
+        self.always_include_last = always_include_last
+        self._order = _bit_reversed_order(stride)
+
+    def subpass_positions(self, subpass_index: int, n_segments: int) -> np.ndarray:
+        if subpass_index < 0:
+            raise ValueError("subpass_index must be non-negative")
+        offset = self._order[subpass_index % self.stride]
+        positions = np.arange(offset, n_segments, self.stride, dtype=np.int64)
+        if self.always_include_last and (n_segments - 1) not in positions:
+            positions = np.append(positions, n_segments - 1)
+        return np.sort(positions)
+
+    def subpasses_per_cycle(self, n_segments: int) -> int:
+        return self.stride
+
+    def describe(self) -> str:
+        last = "+last" if self.always_include_last else ""
+        return f"StridedPuncturing(stride={self.stride}{last})"
+
+
+class TailFirstPuncturing(PuncturingSchedule):
+    """Send the tail of the spine before the head within each pass.
+
+    The last spine value hashes the whole message, so at high SNR a couple of
+    tail symbols can already pin down every message bit; transmitting them
+    first is what lets the achieved rate exceed ``k`` bits/symbol
+    (experiment E7).  Each cycle still transmits every position exactly once
+    (it is a permuted :class:`SymbolBySymbol` schedule).
+    """
+
+    def subpass_positions(self, subpass_index: int, n_segments: int) -> np.ndarray:
+        if subpass_index < 0:
+            raise ValueError("subpass_index must be non-negative")
+        position = n_segments - 1 - (subpass_index % n_segments)
+        return np.array([position], dtype=np.int64)
+
+    def subpasses_per_cycle(self, n_segments: int) -> int:
+        return n_segments
+
+
+def _bit_reversed_order(n: int) -> list[int]:
+    """Bit-reversed permutation of ``0..n-1`` (n need not be a power of two)."""
+    width = max(1, (n - 1).bit_length())
+    reversed_vals = []
+    for value in range(1 << width):
+        rev = int(format(value, f"0{width}b")[::-1], 2)
+        if rev < n:
+            reversed_vals.append(rev)
+    return reversed_vals

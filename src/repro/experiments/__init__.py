@@ -1,0 +1,41 @@
+"""Experiment harness: everything needed to regenerate the paper's results.
+
+Each module corresponds to one experiment of the index in DESIGN.md:
+
+* :mod:`repro.experiments.runner` — shared Monte-Carlo machinery for
+  measuring spinal-code rates over AWGN and BSC channels;
+* :mod:`repro.experiments.figure2` — Figure 2 (rate vs SNR: spinal, Shannon
+  bound, finite-blocklength bound, eight LDPC configurations) and the E2
+  crossover claim;
+* :mod:`repro.experiments.theorems` — E3/E4 (Theorem 1 gap, Theorem 2 BSC);
+* :mod:`repro.experiments.scale_down` — E5 (rate vs beam width B);
+* :mod:`repro.experiments.k_sweep` — E6 (segment size k);
+* :mod:`repro.experiments.puncturing` — E7 (rates above k bits/symbol);
+* :mod:`repro.experiments.distance` — E8 (nonlinearity / distance profile);
+* :mod:`repro.experiments.blocklength` — E9 (other message lengths);
+* :mod:`repro.experiments.quantization` — E10 (ADC precision);
+* :mod:`repro.experiments.constellation_maps` — E11 (linear vs Gaussian map);
+* :mod:`repro.experiments.ldpc_ablation` — E12 (BP iterations);
+* :mod:`repro.experiments.feedback` — E13 (feedback overhead);
+
+The benchmark modules under ``benchmarks/`` are thin wrappers that call into
+this package and print the resulting tables.
+"""
+
+from repro.experiments.runner import (
+    SpinalRunConfig,
+    make_puncturing,
+    run_spinal_bsc_curve,
+    run_spinal_bsc_point,
+    run_spinal_curve,
+    run_spinal_point,
+)
+
+__all__ = [
+    "SpinalRunConfig",
+    "make_puncturing",
+    "run_spinal_point",
+    "run_spinal_curve",
+    "run_spinal_bsc_point",
+    "run_spinal_bsc_curve",
+]

@@ -1,0 +1,74 @@
+"""Experiment E11: constellation mapping ablation (Section 6, future work).
+
+The paper uses the linear map of Eq. (3) and conjectures that "a Gaussian
+mapping is likely to improve performance" (part of the Theorem-1 gap is
+attributed to the uniform rather than Gaussian input distribution).  This
+ablation measures the achieved rate of the three implemented maps — the
+paper's sign/magnitude linear map, the offset-linear (uniform PAM) map, and
+the truncated-Gaussian map — across SNR.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.runner import SpinalRunConfig, run_spinal_point
+from repro.theory.capacity import awgn_capacity_db
+from repro.utils.results import render_table
+
+__all__ = [
+    "ConstellationRow",
+    "constellation_experiment",
+    "constellation_table",
+]
+
+DEFAULT_MAPS = ("linear", "offset-linear", "truncated-gaussian")
+
+
+@dataclass(frozen=True)
+class ConstellationRow:
+    """One (constellation, SNR) measurement."""
+
+    constellation: str
+    snr_db: float
+    mean_rate: float
+    fraction_of_capacity: float
+
+
+def constellation_experiment(
+    constellation_kinds=DEFAULT_MAPS,
+    snr_values_db=(0.0, 10.0, 20.0),
+    base_config: SpinalRunConfig | None = None,
+) -> list[ConstellationRow]:
+    """Measure every implemented mapping function at several SNRs."""
+    if base_config is None:
+        base_config = SpinalRunConfig(n_trials=25)
+    rows = []
+    for kind in constellation_kinds:
+        config = base_config.with_(params=base_config.params.with_(constellation=kind))
+        for snr_db in snr_values_db:
+            measurement = run_spinal_point(config, float(snr_db))
+            capacity = awgn_capacity_db(float(snr_db))
+            rows.append(
+                ConstellationRow(
+                    constellation=kind,
+                    snr_db=float(snr_db),
+                    mean_rate=measurement.mean_rate,
+                    fraction_of_capacity=measurement.mean_rate / capacity,
+                )
+            )
+    return rows
+
+
+def constellation_table(rows: list[ConstellationRow]) -> str:
+    """Pivot into one column per mapping function."""
+    kinds = list(dict.fromkeys(row.constellation for row in rows))
+    snrs = sorted({row.snr_db for row in rows})
+    lookup = {(row.constellation, row.snr_db): row.mean_rate for row in rows}
+    headers = ["SNR(dB)", "capacity"] + list(kinds)
+    table_rows = []
+    for snr_db in snrs:
+        row = [snr_db, awgn_capacity_db(snr_db)]
+        row.extend(lookup.get((kind, snr_db), float("nan")) for kind in kinds)
+        table_rows.append(row)
+    return render_table(headers, table_rows)

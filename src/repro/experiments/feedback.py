@@ -1,0 +1,95 @@
+"""Experiment E13: the cost of realistic feedback (Section 6, future work).
+
+The paper's evaluation assumes free, instantaneous feedback; it explicitly
+lists a feedback link-layer protocol as future work and notes an eventual
+system "ought to use a feedback protocol to achieve the best possible
+trade-off between throughput and latency".  This experiment quantifies that
+trade-off: it measures the per-packet symbol requirements of the spinal code
+at one SNR, then applies different feedback models (perfect, delayed,
+per-block with overhead) and reports the retained throughput.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.runner import SpinalRunConfig, run_spinal_point
+from repro.link.feedback import BlockFeedback, DelayedFeedback, FeedbackModel, PerfectFeedback
+from repro.link.session import simulate_link_session
+from repro.utils.results import render_table
+
+__all__ = ["FeedbackRow", "feedback_experiment", "feedback_table", "default_feedback_models"]
+
+
+def default_feedback_models(n_segments: int) -> list[FeedbackModel]:
+    """A representative set of feedback models for the E13 sweep."""
+    return [
+        PerfectFeedback(),
+        DelayedFeedback(delay_symbols=2),
+        DelayedFeedback(delay_symbols=8),
+        BlockFeedback(block_symbols=n_segments, overhead_symbols=1),
+        BlockFeedback(block_symbols=4 * n_segments, overhead_symbols=1),
+        BlockFeedback(block_symbols=16 * n_segments, overhead_symbols=2),
+    ]
+
+
+@dataclass(frozen=True)
+class FeedbackRow:
+    """Throughput of one feedback model at one SNR."""
+
+    model: str
+    snr_db: float
+    throughput: float
+    ideal_throughput: float
+    efficiency: float
+    mean_symbols_per_packet: float
+
+
+def feedback_experiment(
+    snr_values_db=(5.0, 15.0),
+    config: SpinalRunConfig | None = None,
+    models: list[FeedbackModel] | None = None,
+) -> list[FeedbackRow]:
+    """Apply each feedback model to measured per-packet symbol counts."""
+    if config is None:
+        config = SpinalRunConfig(n_trials=40)
+    framer = config.build_framer()
+    if models is None:
+        models = default_feedback_models(framer.n_segments)
+    rows = []
+    for snr_db in snr_values_db:
+        measurement = run_spinal_point(config, float(snr_db))
+        for model in models:
+            session = simulate_link_session(
+                measurement.symbols_sent,
+                payload_bits_per_packet=config.payload_bits,
+                feedback=model,
+            )
+            rows.append(
+                FeedbackRow(
+                    model=model.describe(),
+                    snr_db=float(snr_db),
+                    throughput=session.throughput_bits_per_symbol,
+                    ideal_throughput=session.ideal_throughput_bits_per_symbol,
+                    efficiency=session.feedback_efficiency,
+                    mean_symbols_per_packet=session.mean_packet_symbols,
+                )
+            )
+    return rows
+
+
+def feedback_table(rows: list[FeedbackRow]) -> str:
+    return render_table(
+        ["feedback model", "SNR(dB)", "throughput", "ideal", "efficiency", "sym/packet"],
+        [
+            (
+                row.model,
+                row.snr_db,
+                row.throughput,
+                row.ideal_throughput,
+                row.efficiency,
+                row.mean_symbols_per_packet,
+            )
+            for row in rows
+        ],
+    )

@@ -1,0 +1,57 @@
+"""Small measurement helpers shared by the experiment modules."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["bit_error_rate", "fraction_of_capacity", "crossover_snr"]
+
+
+def bit_error_rate(reference: np.ndarray, estimate: np.ndarray) -> float:
+    """Fraction of differing bits between two equal-length bit vectors."""
+    reference = np.asarray(reference, dtype=np.uint8)
+    estimate = np.asarray(estimate, dtype=np.uint8)
+    if reference.shape != estimate.shape:
+        raise ValueError(f"shape mismatch: {reference.shape} vs {estimate.shape}")
+    if reference.size == 0:
+        raise ValueError("cannot compute BER of empty vectors")
+    return float(np.mean(reference != estimate))
+
+
+def fraction_of_capacity(measured_rate: float, capacity: float) -> float:
+    """Measured rate as a fraction of the channel capacity."""
+    if capacity <= 0:
+        raise ValueError(f"capacity must be positive, got {capacity}")
+    return measured_rate / capacity
+
+
+def crossover_snr(
+    snr_values_db: np.ndarray, curve_a: np.ndarray, curve_b: np.ndarray
+) -> float | None:
+    """SNR (dB) at which curve A stops exceeding curve B, by linear interpolation.
+
+    Used for the E2 claim ("the rateless nature of spinal code allows it to
+    outperform any rated code of block length 24 for all SNR <= 25 dB"):
+    returns the last SNR at which ``curve_a >= curve_b`` holds before a sign
+    change, ``None`` if A never falls below B on the grid, and the first grid
+    point if A is below B everywhere.
+    """
+    snr_values_db = np.asarray(snr_values_db, dtype=np.float64)
+    curve_a = np.asarray(curve_a, dtype=np.float64)
+    curve_b = np.asarray(curve_b, dtype=np.float64)
+    if not (snr_values_db.shape == curve_a.shape == curve_b.shape):
+        raise ValueError("all inputs must share the same shape")
+    difference = curve_a - curve_b
+    if np.all(difference >= 0):
+        return None
+    if difference[0] < 0:
+        return float(snr_values_db[0])
+    sign_change = np.where((difference[:-1] >= 0) & (difference[1:] < 0))[0]
+    if sign_change.size == 0:
+        return None
+    i = int(sign_change[-1])
+    x0, x1 = snr_values_db[i], snr_values_db[i + 1]
+    y0, y1 = difference[i], difference[i + 1]
+    if y0 == y1:
+        return float(x0)
+    return float(x0 - y0 * (x1 - x0) / (y1 - y0))

@@ -1,0 +1,70 @@
+"""Experiment E10: sensitivity to the receiver ADC resolution.
+
+The paper's Figure 2 experiment quantises each received dimension to 14 bits
+"to simulate quantization of an ADC".  This ablation sweeps the ADC depth to
+show that 14 bits is effectively transparent and to find how few bits the
+decoder can actually live with — a practically relevant question for a
+receiver that feeds raw I/Q samples to the decoder.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.runner import SpinalRunConfig, run_spinal_point
+from repro.theory.capacity import awgn_capacity_db
+from repro.utils.results import render_table
+
+__all__ = ["QuantizationRow", "quantization_experiment", "quantization_table"]
+
+DEFAULT_ADC_BITS = (4, 6, 8, 10, 14, None)
+
+
+@dataclass(frozen=True)
+class QuantizationRow:
+    """One (ADC depth, SNR) measurement; ``adc_bits=None`` means no quantiser."""
+
+    adc_bits: int | None
+    snr_db: float
+    mean_rate: float
+    fraction_of_capacity: float
+
+
+def quantization_experiment(
+    adc_bit_depths=DEFAULT_ADC_BITS,
+    snr_values_db=(10.0, 25.0),
+    base_config: SpinalRunConfig | None = None,
+) -> list[QuantizationRow]:
+    """Measure the spinal rate as the ADC depth varies."""
+    if base_config is None:
+        base_config = SpinalRunConfig(n_trials=25)
+    rows = []
+    for adc_bits in adc_bit_depths:
+        config = base_config.with_(adc_bits=adc_bits)
+        for snr_db in snr_values_db:
+            measurement = run_spinal_point(config, float(snr_db))
+            capacity = awgn_capacity_db(float(snr_db))
+            rows.append(
+                QuantizationRow(
+                    adc_bits=adc_bits,
+                    snr_db=float(snr_db),
+                    mean_rate=measurement.mean_rate,
+                    fraction_of_capacity=measurement.mean_rate / capacity,
+                )
+            )
+    return rows
+
+
+def quantization_table(rows: list[QuantizationRow]) -> str:
+    return render_table(
+        ["ADC bits", "SNR(dB)", "mean rate", "fraction of capacity"],
+        [
+            (
+                "inf" if row.adc_bits is None else row.adc_bits,
+                row.snr_db,
+                row.mean_rate,
+                row.fraction_of_capacity,
+            )
+            for row in rows
+        ],
+    )

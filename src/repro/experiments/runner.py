@@ -1,0 +1,209 @@
+"""Shared Monte-Carlo runner for spinal-code rate measurements.
+
+Every experiment that measures "rate achieved by the practical decoder at
+operating point X" goes through :class:`SpinalRunConfig` and the
+``run_spinal_*`` functions here, so that trial seeding, symbol budgets and
+termination handling are consistent across figures.
+
+The symbol budget per trial is chosen adaptively from the channel capacity
+at the operating point (a trial is allowed several times the number of
+symbols an ideal code would need) so that low-SNR points neither truncate
+trials prematurely nor waste time transmitting far past the decoding point.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+
+from repro.channels.awgn import AWGNChannel
+from repro.channels.base import Channel
+from repro.channels.bsc import BSCChannel
+from repro.core.crc import Crc
+from repro.core.decoder_bubble import BubbleDecoder
+from repro.core.encoder import SpinalEncoder
+from repro.core.framing import Framer
+from repro.core.params import SpinalParams
+from repro.core.puncturing import (
+    NoPuncturing,
+    PuncturingSchedule,
+    StridedPuncturing,
+    SymbolBySymbol,
+    TailFirstPuncturing,
+)
+from repro.core.rateless import RatelessSession
+from repro.theory.capacity import awgn_capacity_db, bsc_capacity
+from repro.utils.bitops import random_message_bits
+from repro.utils.results import RateMeasurement, SweepResult
+from repro.utils.rng import spawn_rng
+
+__all__ = [
+    "SpinalRunConfig",
+    "make_puncturing",
+    "run_spinal_point",
+    "run_spinal_curve",
+    "run_spinal_bsc_point",
+    "run_spinal_bsc_curve",
+]
+
+#: Budget multiplier: a trial may use this many times the symbols an ideal
+#: capacity-achieving code would need before it is declared a failure.
+_BUDGET_FACTOR = 8.0
+#: Lower bound on the per-trial budget, in passes over the spine.
+_MIN_BUDGET_PASSES = 4
+#: Hard ceiling on the per-trial budget (protects the lowest SNR points).
+_MAX_BUDGET_SYMBOLS = 32768
+
+
+def make_puncturing(name: str, **kwargs) -> PuncturingSchedule:
+    """Build a puncturing schedule from its experiment-config name."""
+    schedules = {
+        "none": NoPuncturing,
+        "symbol": SymbolBySymbol,
+        "strided": StridedPuncturing,
+        "tail-first": TailFirstPuncturing,
+    }
+    try:
+        cls = schedules[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown puncturing schedule {name!r}; expected one of {sorted(schedules)}"
+        ) from None
+    return cls(**kwargs)
+
+
+@dataclass(frozen=True)
+class SpinalRunConfig:
+    """One spinal-code operating configuration for Monte-Carlo measurement.
+
+    The defaults reproduce the paper's Figure 2 configuration: 24-bit
+    messages, ``k = 8``, ``c = 10``, beam width ``B = 16``, 14-bit ADC,
+    genie termination, with decode attempts after every symbol.
+    """
+
+    payload_bits: int = 24
+    params: SpinalParams = field(default_factory=lambda: SpinalParams(k=8, c=10))
+    beam_width: int = 16
+    adc_bits: int | None = 14
+    puncturing: str = "tail-first"
+    crc: Crc | None = None
+    tail_segments: int = 0
+    termination: str = "genie"
+    search: str = "bisect"
+    n_trials: int = 30
+    seed: int = 20111114
+    max_symbols: int | None = None
+    count_overhead: bool = False
+
+    def with_(self, **changes) -> "SpinalRunConfig":
+        """Copy with fields replaced (sweep convenience)."""
+        return replace(self, **changes)
+
+    # -- builders -----------------------------------------------------------
+    def build_framer(self) -> Framer:
+        return Framer(
+            payload_bits=self.payload_bits,
+            k=self.params.k,
+            crc=self.crc,
+            tail_segments=self.tail_segments,
+        )
+
+    def build_encoder(self) -> SpinalEncoder:
+        return SpinalEncoder(self.params, puncturing=make_puncturing(self.puncturing))
+
+    def decoder_factory(self):
+        beam_width = self.beam_width
+
+        def factory(encoder: SpinalEncoder) -> BubbleDecoder:
+            return BubbleDecoder(encoder, beam_width=beam_width)
+
+        return factory
+
+    def symbol_budget(self, ideal_rate: float) -> int:
+        """Adaptive per-trial symbol budget given an ideal achievable rate."""
+        if self.max_symbols is not None:
+            return self.max_symbols
+        framer = self.build_framer()
+        floor_budget = _MIN_BUDGET_PASSES * framer.n_segments
+        if ideal_rate <= 0:
+            return _MAX_BUDGET_SYMBOLS
+        budget = int(math.ceil(_BUDGET_FACTOR * framer.framed_bits / ideal_rate))
+        return max(floor_budget, min(budget, _MAX_BUDGET_SYMBOLS))
+
+
+def _run_point(
+    config: SpinalRunConfig,
+    channel: Channel,
+    ideal_rate: float,
+    snr_db: float | None,
+    param: float | None,
+) -> RateMeasurement:
+    """Run ``config.n_trials`` independent trials over one channel instance."""
+    framer = config.build_framer()
+    encoder = config.build_encoder()
+    session = RatelessSession(
+        encoder,
+        decoder_factory=config.decoder_factory(),
+        channel=channel,
+        framer=framer,
+        termination=config.termination,
+        max_symbols=config.symbol_budget(ideal_rate),
+        search=config.search,
+        count_overhead=config.count_overhead,
+    )
+    label = snr_db if snr_db is not None else param
+    measurement = RateMeasurement(snr_db=snr_db, param=param)
+    for trial in range(config.n_trials):
+        rng = spawn_rng(config.seed, "trial", label, trial)
+        payload = random_message_bits(config.payload_bits, rng)
+        result = session.run(payload, rng)
+        measurement.add_trial(result.rate, result.symbols_sent, result.payload_correct)
+    return measurement
+
+
+def run_spinal_point(config: SpinalRunConfig, snr_db: float) -> RateMeasurement:
+    """Measure the spinal code's achieved rate at one AWGN SNR."""
+    if config.params.bit_mode:
+        raise ValueError("AWGN measurements need symbol-mode params (bit_mode=False)")
+    channel = AWGNChannel(
+        snr_db=snr_db,
+        signal_power=config.params.average_power,
+        adc_bits=config.adc_bits,
+    )
+    return _run_point(
+        config, channel, ideal_rate=awgn_capacity_db(snr_db), snr_db=snr_db, param=None
+    )
+
+
+def run_spinal_curve(
+    config: SpinalRunConfig, snr_values_db, name: str = "Spinal"
+) -> SweepResult:
+    """Measure the spinal rate-vs-SNR curve over a list of SNRs."""
+    sweep = SweepResult(name=name, metadata={"config": config})
+    for snr_db in snr_values_db:
+        sweep.add_point(run_spinal_point(config, float(snr_db)))
+    return sweep
+
+
+def run_spinal_bsc_point(config: SpinalRunConfig, crossover_probability: float) -> RateMeasurement:
+    """Measure the spinal code's achieved rate over a BSC (bit mode)."""
+    if not config.params.bit_mode:
+        raise ValueError("BSC measurements need bit-mode params (bit_mode=True)")
+    channel = BSCChannel(crossover_probability)
+    return _run_point(
+        config,
+        channel,
+        ideal_rate=bsc_capacity(crossover_probability),
+        snr_db=None,
+        param=crossover_probability,
+    )
+
+
+def run_spinal_bsc_curve(
+    config: SpinalRunConfig, crossover_probabilities, name: str = "Spinal (BSC)"
+) -> SweepResult:
+    """Measure the spinal rate-vs-crossover-probability curve over a BSC."""
+    sweep = SweepResult(name=name, metadata={"config": config})
+    for p in crossover_probabilities:
+        sweep.add_point(run_spinal_bsc_point(config, float(p)))
+    return sweep

@@ -1,0 +1,15 @@
+"""Fountain (LT) codes over the binary erasure channel.
+
+The related-work section of the paper positions spinal codes against the
+earlier generation of rateless codes — LT codes (Luby) and Raptor codes
+(Shokrollahi) — which achieve capacity on the *erasure* channel but have no
+comparable guarantee on AWGN/BSC.  This package provides a compact but
+complete LT code implementation (robust-soliton degree distribution, encoder,
+peeling decoder) so the examples can make that contrast concrete: LT codes
+on a BEC behave beautifully, but fed from a noisy bit channel without an
+inner code they collapse, while the spinal code natively rides the noise.
+"""
+
+from repro.fountain.lt import LTDecoder, LTEncoder, LTSymbol, robust_soliton_distribution
+
+__all__ = ["LTEncoder", "LTDecoder", "LTSymbol", "robust_soliton_distribution"]

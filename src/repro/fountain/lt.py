@@ -1,0 +1,185 @@
+"""LT (Luby Transform) codes: encoder, peeling decoder, degree distribution.
+
+LT codes are the canonical rateless *erasure* codes the paper's related-work
+section contrasts spinal codes with.  An LT encoder emits an endless stream
+of output symbols, each the XOR of a random subset of the ``K`` input blocks;
+a receiver that collects slightly more than ``K`` un-erased symbols can
+recover the input with high probability via the peeling (belief-propagation
+on erasures) decoder.
+
+The implementation works on bit blocks represented as numpy ``uint8`` arrays
+and follows the standard robust-soliton construction.  Seeds are carried in
+each output symbol so encoder and decoder agree on neighbourhoods without a
+side channel (as in real fountain-code deployments).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.rng import spawn_rng
+
+__all__ = ["robust_soliton_distribution", "LTSymbol", "LTEncoder", "LTDecoder"]
+
+
+def robust_soliton_distribution(
+    n_blocks: int, c: float = 0.1, delta: float = 0.5
+) -> np.ndarray:
+    """The robust-soliton degree distribution over degrees ``1..n_blocks``.
+
+    Parameters follow Luby's construction: the ideal soliton distribution is
+    augmented by a spike at degree ``n_blocks / R`` (with
+    ``R = c * ln(n_blocks/delta) * sqrt(n_blocks)``) and renormalised.
+
+    Returns an array ``p`` of length ``n_blocks`` with ``p[d-1]`` the
+    probability of degree ``d``.
+    """
+    if n_blocks < 1:
+        raise ValueError(f"n_blocks must be positive, got {n_blocks}")
+    if not 0 < delta < 1:
+        raise ValueError(f"delta must be in (0, 1), got {delta}")
+    if c <= 0:
+        raise ValueError(f"c must be positive, got {c}")
+
+    ideal = np.zeros(n_blocks)
+    ideal[0] = 1.0 / n_blocks
+    for degree in range(2, n_blocks + 1):
+        ideal[degree - 1] = 1.0 / (degree * (degree - 1))
+
+    ripple = c * np.log(n_blocks / delta) * np.sqrt(n_blocks)
+    spike_degree = max(1, min(n_blocks, int(round(n_blocks / max(ripple, 1.0)))))
+    tau = np.zeros(n_blocks)
+    for degree in range(1, spike_degree):
+        tau[degree - 1] = ripple / (degree * n_blocks)
+    tau[spike_degree - 1] = ripple * np.log(ripple / delta) / n_blocks if ripple > delta else 0.0
+
+    combined = ideal + np.maximum(tau, 0.0)
+    return combined / combined.sum()
+
+
+@dataclass(frozen=True)
+class LTSymbol:
+    """One LT output symbol: the XOR of ``neighbours`` input blocks."""
+
+    seed: int
+    neighbours: tuple[int, ...]
+    value: np.ndarray
+
+    @property
+    def degree(self) -> int:
+        return len(self.neighbours)
+
+
+class LTEncoder:
+    """Rateless LT encoder over ``n_blocks`` equal-sized bit blocks."""
+
+    def __init__(
+        self,
+        data_bits: np.ndarray,
+        block_bits: int,
+        seed: int = 0,
+        c: float = 0.1,
+        delta: float = 0.5,
+    ) -> None:
+        data_bits = np.asarray(data_bits, dtype=np.uint8)
+        if data_bits.ndim != 1 or data_bits.size == 0:
+            raise ValueError("data_bits must be a non-empty 1-D bit array")
+        if block_bits <= 0:
+            raise ValueError(f"block_bits must be positive, got {block_bits}")
+        if data_bits.size % block_bits != 0:
+            raise ValueError(
+                f"data length {data_bits.size} is not a multiple of block_bits={block_bits}"
+            )
+        self.block_bits = block_bits
+        self.blocks = data_bits.reshape(-1, block_bits)
+        self.n_blocks = self.blocks.shape[0]
+        self.seed = seed
+        self.degree_distribution = robust_soliton_distribution(self.n_blocks, c=c, delta=delta)
+
+    def neighbours_for_seed(self, symbol_seed: int) -> tuple[int, ...]:
+        """Deterministically derive a symbol's neighbour set from its seed."""
+        rng = spawn_rng(self.seed, "lt-symbol", symbol_seed)
+        degree = int(rng.choice(self.n_blocks, p=self.degree_distribution)) + 1
+        neighbours = rng.choice(self.n_blocks, size=degree, replace=False)
+        return tuple(int(n) for n in np.sort(neighbours))
+
+    def symbol(self, symbol_seed: int) -> LTSymbol:
+        """Generate the output symbol identified by ``symbol_seed``."""
+        neighbours = self.neighbours_for_seed(symbol_seed)
+        value = np.zeros(self.block_bits, dtype=np.uint8)
+        for block_index in neighbours:
+            value ^= self.blocks[block_index]
+        return LTSymbol(seed=symbol_seed, neighbours=neighbours, value=value)
+
+    def stream(self, start_seed: int = 0):
+        """Yield an endless stream of output symbols (the rateless property)."""
+        symbol_seed = start_seed
+        while True:
+            yield self.symbol(symbol_seed)
+            symbol_seed += 1
+
+
+class LTDecoder:
+    """Peeling decoder: resolves degree-1 symbols and substitutes them back."""
+
+    def __init__(self, n_blocks: int, block_bits: int) -> None:
+        if n_blocks <= 0 or block_bits <= 0:
+            raise ValueError("n_blocks and block_bits must be positive")
+        self.n_blocks = n_blocks
+        self.block_bits = block_bits
+        self.recovered: dict[int, np.ndarray] = {}
+        self._pending: list[tuple[set[int], np.ndarray]] = []
+        self.symbols_consumed = 0
+
+    @property
+    def is_complete(self) -> bool:
+        """True once every input block has been recovered."""
+        return len(self.recovered) == self.n_blocks
+
+    def add_symbol(self, symbol: LTSymbol) -> None:
+        """Consume one received (un-erased) output symbol and peel."""
+        if symbol.value.shape != (self.block_bits,):
+            raise ValueError(
+                f"symbol has {symbol.value.shape} bits, expected ({self.block_bits},)"
+            )
+        self.symbols_consumed += 1
+        remaining = set(symbol.neighbours)
+        value = symbol.value.copy()
+        for block_index in list(remaining):
+            if block_index in self.recovered:
+                value ^= self.recovered[block_index]
+                remaining.discard(block_index)
+        if not remaining:
+            return
+        self._pending.append((remaining, value))
+        self._peel()
+
+    def _peel(self) -> None:
+        progress = True
+        while progress:
+            progress = False
+            still_pending: list[tuple[set[int], np.ndarray]] = []
+            for remaining, value in self._pending:
+                unresolved = {b for b in remaining if b not in self.recovered}
+                reduced = value.copy()
+                for block_index in remaining - unresolved:
+                    reduced ^= self.recovered[block_index]
+                if len(unresolved) == 0:
+                    progress = True
+                    continue
+                if len(unresolved) == 1:
+                    block_index = next(iter(unresolved))
+                    self.recovered[block_index] = reduced
+                    progress = True
+                    continue
+                still_pending.append((unresolved, reduced))
+            self._pending = still_pending
+
+    def data_bits(self) -> np.ndarray:
+        """Return the recovered data (raises if decoding is incomplete)."""
+        if not self.is_complete:
+            missing = self.n_blocks - len(self.recovered)
+            raise ValueError(f"decoding incomplete: {missing} blocks still unknown")
+        return np.concatenate([self.recovered[i] for i in range(self.n_blocks)])

@@ -1,0 +1,208 @@
+"""Belief-propagation decoding of LDPC codes.
+
+The paper's baseline decoder is a "40-iteration belief propagation decoder
+using soft information"; this module implements it twice:
+
+* ``algorithm="sum-product"`` — the exact tanh-rule sum-product algorithm;
+* ``algorithm="min-sum"`` — normalised min-sum (scaling factor 0.8125), the
+  standard hardware-friendly approximation, within ~0.1 dB of sum-product
+  for these codes and noticeably faster in numpy.
+
+Decoding is *batched*: a whole block of received codewords is decoded at
+once, with per-frame early stopping when all parity checks are satisfied.
+Message passing is fully vectorised over the edge list of the code.
+
+Input LLRs follow the library convention (positive favours bit 0), produced
+by :func:`repro.modulation.demod.awgn_bit_llrs`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import sparse
+
+from repro.ldpc.encoder import LDPCCode
+
+__all__ = ["BeliefPropagationDecoder", "DecoderStats"]
+
+#: Normalisation factor for min-sum decoding (standard engineering choice).
+_MIN_SUM_SCALE = 0.8125
+#: LLR magnitudes are clipped to this value to keep tanh/atanh stable.
+_LLR_CLIP = 30.0
+
+
+@dataclass(frozen=True)
+class DecoderStats:
+    """Aggregate statistics of one batch decode."""
+
+    iterations_used: np.ndarray
+    converged: np.ndarray
+
+    @property
+    def mean_iterations(self) -> float:
+        return float(self.iterations_used.mean())
+
+    @property
+    def convergence_fraction(self) -> float:
+        return float(self.converged.mean())
+
+
+class BeliefPropagationDecoder:
+    """Iterative message-passing decoder over a code's Tanner graph."""
+
+    def __init__(
+        self,
+        code: LDPCCode,
+        max_iterations: int = 40,
+        algorithm: str = "sum-product",
+    ) -> None:
+        if max_iterations < 1:
+            raise ValueError(f"max_iterations must be at least 1, got {max_iterations}")
+        if algorithm not in ("sum-product", "min-sum"):
+            raise ValueError(f"unknown algorithm {algorithm!r}")
+        self.code = code
+        self.max_iterations = max_iterations
+        self.algorithm = algorithm
+        # Edge bookkeeping (edges sorted by check index in LDPCCode).
+        self._edge_check = code.edge_check
+        self._edge_variable = code.edge_variable
+        self._check_ptr = code.check_ptr
+        self._n_edges = code.n_edges
+        # Sparse edge-to-variable incidence matrix: summing the check-to-
+        # variable messages into per-variable totals is a single sparse
+        # matrix product per iteration.
+        self._edge_to_variable = sparse.csr_matrix(
+            (
+                np.ones(self._n_edges),
+                (np.arange(self._n_edges), self._edge_variable),
+            ),
+            shape=(self._n_edges, code.n),
+        )
+
+    # ------------------------------------------------------------------
+    def decode(
+        self, llrs: np.ndarray
+    ) -> tuple[np.ndarray, DecoderStats]:
+        """Decode one codeword or a batch.
+
+        Parameters
+        ----------
+        llrs:
+            Channel LLRs, shape ``(n,)`` for a single codeword or
+            ``(batch, n)`` for a batch.
+
+        Returns
+        -------
+        (hard_bits, stats):
+            ``hard_bits`` has the same leading shape as the input and
+            contains the decoder's codeword estimate(s); ``stats`` records
+            per-frame iteration counts and convergence flags.
+        """
+        llrs = np.asarray(llrs, dtype=np.float64)
+        single = llrs.ndim == 1
+        if single:
+            llrs = llrs[None, :]
+        if llrs.shape[1] != self.code.n:
+            raise ValueError(
+                f"expected LLR rows of length {self.code.n}, got {llrs.shape[1]}"
+            )
+        batch = llrs.shape[0]
+        channel = np.clip(llrs, -_LLR_CLIP, _LLR_CLIP)
+
+        # Messages live on edges: shape (batch, n_edges).
+        var_to_check = channel[:, self._edge_variable].copy()
+        check_to_var = np.zeros_like(var_to_check)
+        posterior = channel.copy()
+
+        iterations_used = np.full(batch, self.max_iterations, dtype=np.int64)
+        converged = np.zeros(batch, dtype=bool)
+        active = np.arange(batch)
+
+        for iteration in range(1, self.max_iterations + 1):
+            if active.size == 0:
+                break
+            check_to_var[active] = self._check_update(var_to_check[active])
+
+            # Variable update: total belief minus the incoming edge message.
+            totals = check_to_var[active] @ self._edge_to_variable
+            posterior[active] = channel[active] + totals
+            var_to_check[active] = np.clip(
+                posterior[active][:, self._edge_variable] - check_to_var[active],
+                -_LLR_CLIP,
+                _LLR_CLIP,
+            )
+
+            # Early stop for frames whose hard decision satisfies every check.
+            hard = (posterior[active] < 0).astype(np.uint8)
+            syndromes = self.code.syndrome(hard)
+            newly_done = ~np.any(syndromes, axis=1)
+            done_indices = active[newly_done]
+            iterations_used[done_indices] = iteration
+            converged[done_indices] = True
+            active = active[~newly_done]
+
+        hard_bits = (posterior < 0).astype(np.uint8)
+        stats = DecoderStats(iterations_used=iterations_used, converged=converged)
+        if single:
+            return hard_bits[0], stats
+        return hard_bits, stats
+
+    # ------------------------------------------------------------------
+    def _check_update(self, var_to_check: np.ndarray) -> np.ndarray:
+        if self.algorithm == "min-sum":
+            return self._check_update_min_sum(var_to_check)
+        return self._check_update_sum_product(var_to_check)
+
+    def _check_update_sum_product(self, var_to_check: np.ndarray) -> np.ndarray:
+        """Exact tanh-rule update, vectorised per check via reduceat."""
+        tanh_half = np.tanh(var_to_check / 2.0)
+        # Keep the magnitudes away from 0 and 1 so the division and atanh
+        # below stay finite.
+        tanh_half = np.clip(tanh_half, -1.0 + 1e-12, 1.0 - 1e-12)
+        tanh_half = np.where(np.abs(tanh_half) < 1e-12, 1e-12, tanh_half)
+
+        log_abs = np.log(np.abs(tanh_half))
+        signs = np.sign(tanh_half)
+
+        group_log = np.add.reduceat(log_abs, self._check_ptr[:-1], axis=1)
+        group_neg = np.add.reduceat((signs < 0).astype(np.int64), self._check_ptr[:-1], axis=1)
+
+        per_edge_log = group_log[:, self._edge_check] - log_abs
+        per_edge_sign = np.where(
+            (group_neg[:, self._edge_check] - (signs < 0)) % 2 == 0, 1.0, -1.0
+        )
+        product = per_edge_sign * np.exp(per_edge_log)
+        product = np.clip(product, -1.0 + 1e-12, 1.0 - 1e-12)
+        return 2.0 * np.arctanh(product)
+
+    def _check_update_min_sum(self, var_to_check: np.ndarray) -> np.ndarray:
+        """Normalised min-sum update (magnitude = min over the other edges)."""
+        magnitudes = np.abs(var_to_check)
+        signs = var_to_check < 0
+
+        group_min = np.minimum.reduceat(magnitudes, self._check_ptr[:-1], axis=1)
+        expanded_min = group_min[:, self._edge_check]
+        is_min = magnitudes <= expanded_min
+
+        # Second minimum per group, computed with every minimal edge masked
+        # out; if the minimum occurs more than once the "excluding myself"
+        # minimum of a minimal edge is still the group minimum.
+        min_count = np.add.reduceat(
+            is_min.astype(np.int64), self._check_ptr[:-1], axis=1
+        )
+        masked = np.where(is_min, np.inf, magnitudes)
+        group_second = np.minimum.reduceat(masked, self._check_ptr[:-1], axis=1)
+        group_second = np.where(min_count > 1, group_min, group_second)
+        group_second = np.minimum(group_second, _LLR_CLIP)
+
+        out_magnitude = np.where(
+            is_min, group_second[:, self._edge_check], expanded_min
+        )
+
+        group_neg = np.add.reduceat(signs.astype(np.int64), self._check_ptr[:-1], axis=1)
+        per_edge_sign = np.where(
+            (group_neg[:, self._edge_check] - signs) % 2 == 0, 1.0, -1.0
+        )
+        return _MIN_SUM_SCALE * per_edge_sign * out_magnitude

@@ -1,0 +1,31 @@
+"""Link-layer machinery around the rateless code.
+
+The paper's evaluation assumes "the receiver informs the sender as soon as it
+is able to fully decode the data", and lists "developing a feedback
+link-layer protocol for rateless spinal codes" as future work (Section 6).
+This package models that feedback explicitly so the cost of realistic
+signalling can be quantified (experiment E13):
+
+* :mod:`repro.link.feedback` — feedback models (perfect, delayed, per-block)
+  that convert the number of symbols a decoder *needed* into the number the
+  sender actually *transmits*;
+* :mod:`repro.link.session` — packet-level throughput/latency accounting for
+  a stream of rateless transmissions under a feedback model.
+"""
+
+from repro.link.feedback import (
+    BlockFeedback,
+    DelayedFeedback,
+    FeedbackModel,
+    PerfectFeedback,
+)
+from repro.link.session import LinkSessionResult, simulate_link_session
+
+__all__ = [
+    "FeedbackModel",
+    "PerfectFeedback",
+    "DelayedFeedback",
+    "BlockFeedback",
+    "simulate_link_session",
+    "LinkSessionResult",
+]

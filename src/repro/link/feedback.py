@@ -1,0 +1,95 @@
+"""Feedback models: how many symbols does the sender really transmit?
+
+A rateless receiver needs ``S`` symbols to decode, but the sender only stops
+when it *learns* that the receiver is done.  Each model maps the needed
+symbol count to the transmitted symbol count (and accounts for any feedback
+overhead in symbol-equivalents), which is all the throughput accounting in
+:mod:`repro.link.session` requires.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+__all__ = ["FeedbackModel", "PerfectFeedback", "DelayedFeedback", "BlockFeedback"]
+
+
+class FeedbackModel(ABC):
+    """Maps symbols-needed to symbols-actually-spent on the channel."""
+
+    @abstractmethod
+    def symbols_spent(self, symbols_needed: int) -> float:
+        """Channel uses consumed to deliver a packet that needed ``symbols_needed``."""
+
+    def describe(self) -> str:
+        return type(self).__name__
+
+
+@dataclass(frozen=True)
+class PerfectFeedback(FeedbackModel):
+    """The paper's evaluation assumption: instantaneous, free feedback."""
+
+    def symbols_spent(self, symbols_needed: int) -> float:
+        if symbols_needed < 0:
+            raise ValueError("symbols_needed must be non-negative")
+        return float(symbols_needed)
+
+
+@dataclass(frozen=True)
+class DelayedFeedback(FeedbackModel):
+    """Feedback arrives a fixed delay after the decoding-enabling symbol.
+
+    The sender keeps transmitting during the delay, so every packet overshoots
+    by ``delay_symbols`` channel uses (e.g. a SIFS + ACK time expressed in
+    symbol durations).
+    """
+
+    delay_symbols: int
+
+    def __post_init__(self) -> None:
+        if self.delay_symbols < 0:
+            raise ValueError(f"delay_symbols must be non-negative, got {self.delay_symbols}")
+
+    def symbols_spent(self, symbols_needed: int) -> float:
+        if symbols_needed < 0:
+            raise ValueError("symbols_needed must be non-negative")
+        return float(symbols_needed + self.delay_symbols)
+
+    def describe(self) -> str:
+        return f"DelayedFeedback({self.delay_symbols} symbols)"
+
+
+@dataclass(frozen=True)
+class BlockFeedback(FeedbackModel):
+    """Feedback only at block boundaries, with per-block overhead.
+
+    The sender transmits in bursts of ``block_symbols`` and pauses for an
+    ACK/NACK costing ``overhead_symbols`` symbol-times.  The packet therefore
+    spends a whole number of blocks plus the per-block overhead — the classic
+    throughput/latency trade-off for rateless links.
+    """
+
+    block_symbols: int
+    overhead_symbols: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.block_symbols < 1:
+            raise ValueError(f"block_symbols must be at least 1, got {self.block_symbols}")
+        if self.overhead_symbols < 0:
+            raise ValueError(
+                f"overhead_symbols must be non-negative, got {self.overhead_symbols}"
+            )
+
+    def symbols_spent(self, symbols_needed: int) -> float:
+        if symbols_needed < 0:
+            raise ValueError("symbols_needed must be non-negative")
+        n_blocks = max(1, math.ceil(symbols_needed / self.block_symbols))
+        return n_blocks * (self.block_symbols + self.overhead_symbols)
+
+    def describe(self) -> str:
+        return (
+            f"BlockFeedback(block={self.block_symbols}, "
+            f"overhead={self.overhead_symbols:g})"
+        )

@@ -1,0 +1,30 @@
+"""Conventional fixed modulations and soft demappers.
+
+These are the symbol sets used by the fixed-rate LDPC baselines in Figure 2
+(BPSK, QAM-4, QAM-16 and QAM-64), together with exact and max-log LLR
+demappers feeding soft information to the belief-propagation decoder — the
+paper decodes its LDPC baselines "with a powerful decoder (40-iteration
+belief propagation decoder using soft information)".
+
+They are also what a spinal code in *bit mode* would ride on top of when the
+PHY cannot be modified (Section 1's "commodity PHY" deployment); the
+``bsc_commodity_phy`` example wires that up.
+"""
+
+from repro.modulation.base import Modulation
+from repro.modulation.demod import awgn_bit_llrs, hard_decisions_from_llrs
+from repro.modulation.psk import BPSK, QPSK
+from repro.modulation.qam import QAM, QAM4, QAM16, QAM64, make_modulation
+
+__all__ = [
+    "Modulation",
+    "BPSK",
+    "QPSK",
+    "QAM",
+    "QAM4",
+    "QAM16",
+    "QAM64",
+    "make_modulation",
+    "awgn_bit_llrs",
+    "hard_decisions_from_llrs",
+]

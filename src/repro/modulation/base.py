@@ -1,0 +1,97 @@
+"""Abstract modulation interface.
+
+A modulation maps groups of ``bits_per_symbol`` coded bits to complex
+constellation points with unit average energy, and (for soft-input decoding)
+computes per-bit log-likelihood ratios from noisy received symbols.
+
+LLR convention: ``llr = log P(bit = 0 | y) - log P(bit = 1 | y)``, so a
+positive LLR favours bit 0.  This is the convention consumed by
+:mod:`repro.ldpc.decoder`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+__all__ = ["Modulation"]
+
+
+class Modulation(ABC):
+    """Bits-to-symbols mapping with unit average symbol energy."""
+
+    #: Number of coded bits carried by each complex symbol.
+    bits_per_symbol: int
+    #: Human-readable name used in experiment reports ("QAM-16", ...).
+    name: str
+
+    @abstractmethod
+    def constellation_points(self) -> np.ndarray:
+        """All ``2^bits_per_symbol`` points, indexed by their bit label value.
+
+        Entry ``i`` is the symbol transmitted for the bit group whose MSB-first
+        integer value is ``i``.
+        """
+
+    @abstractmethod
+    def bit_labels(self) -> np.ndarray:
+        """Bit labels of :meth:`constellation_points`.
+
+        Array of shape ``(2^bits_per_symbol, bits_per_symbol)`` where row ``i``
+        is the bit pattern (MSB first) mapped to point ``i``.  For the
+        modulations in this package this is simply the binary expansion of
+        ``i``, but the indirection keeps the demapper generic.
+        """
+
+    # -- modulate ------------------------------------------------------------
+    def modulate(self, bits: np.ndarray) -> np.ndarray:
+        """Map coded bits (length divisible by ``bits_per_symbol``) to symbols."""
+        bits = np.asarray(bits, dtype=np.uint8)
+        if bits.ndim != 1:
+            raise ValueError(f"expected a 1-D bit array, got shape {bits.shape}")
+        if bits.size % self.bits_per_symbol != 0:
+            raise ValueError(
+                f"bit count {bits.size} is not a multiple of bits_per_symbol="
+                f"{self.bits_per_symbol}"
+            )
+        groups = bits.reshape(-1, self.bits_per_symbol)
+        weights = 1 << np.arange(self.bits_per_symbol - 1, -1, -1)
+        indices = (groups * weights).sum(axis=1)
+        return self.constellation_points()[indices]
+
+    # -- demodulate -----------------------------------------------------------
+    def demodulate_llr(
+        self, received: np.ndarray, noise_energy: float, max_log: bool = False
+    ) -> np.ndarray:
+        """Per-bit LLRs for received symbols over AWGN with the given noise energy.
+
+        ``noise_energy`` is the total complex-noise energy per symbol (``N0``);
+        the per-dimension variance is ``N0 / 2``.  Set ``max_log`` to use the
+        max-log approximation (faster, slightly weaker).
+        """
+        from repro.modulation.demod import awgn_bit_llrs
+
+        return awgn_bit_llrs(
+            received,
+            self.constellation_points(),
+            self.bit_labels(),
+            noise_energy,
+            max_log=max_log,
+        )
+
+    def demodulate_hard(self, received: np.ndarray) -> np.ndarray:
+        """Minimum-distance hard decisions, returned as a flat bit array."""
+        received = np.asarray(received, dtype=np.complex128).reshape(-1)
+        points = self.constellation_points()
+        distances = np.abs(received[:, None] - points[None, :]) ** 2
+        best = np.argmin(distances, axis=1)
+        return self.bit_labels()[best].reshape(-1).astype(np.uint8)
+
+    # -- misc -----------------------------------------------------------------
+    @property
+    def average_energy(self) -> float:
+        return float(np.mean(np.abs(self.constellation_points()) ** 2))
+
+    def describe(self) -> str:
+        return self.name

@@ -1,0 +1,47 @@
+"""Phase-shift keying modulations (BPSK and QPSK/QAM-4)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.modulation.base import Modulation
+
+__all__ = ["BPSK", "QPSK"]
+
+
+class BPSK(Modulation):
+    """Binary phase-shift keying: bit 0 -> +1, bit 1 -> -1 (real axis only)."""
+
+    bits_per_symbol = 1
+    name = "BPSK"
+
+    def constellation_points(self) -> np.ndarray:
+        return np.array([1.0 + 0.0j, -1.0 + 0.0j])
+
+    def bit_labels(self) -> np.ndarray:
+        return np.array([[0], [1]], dtype=np.uint8)
+
+
+class QPSK(Modulation):
+    """Quadrature PSK (identical to Gray-mapped QAM-4), unit average energy.
+
+    The first bit selects the I sign and the second the Q sign, so each bit
+    sees an independent BPSK channel of half the symbol energy.
+    """
+
+    bits_per_symbol = 2
+    name = "QAM-4"
+
+    def constellation_points(self) -> np.ndarray:
+        amp = 1.0 / math.sqrt(2.0)
+        points = np.empty(4, dtype=np.complex128)
+        for value in range(4):
+            i_bit = (value >> 1) & 1
+            q_bit = value & 1
+            points[value] = amp * ((1 - 2 * i_bit) + 1j * (1 - 2 * q_bit))
+        return points
+
+    def bit_labels(self) -> np.ndarray:
+        return np.array([[(v >> 1) & 1, v & 1] for v in range(4)], dtype=np.uint8)

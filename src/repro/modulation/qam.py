@@ -1,0 +1,110 @@
+"""Square Gray-mapped QAM constellations (QAM-4/16/64).
+
+Each axis carries ``bits_per_symbol / 2`` bits mapped through a Gray code to
+a uniform PAM alphabet; the constellation is normalised to unit average
+energy.  The first half of a symbol's bits selects the I level (MSB first)
+and the second half the Q level, matching standard 802.11 bit-to-symbol
+interleaving closely enough for the baseline comparisons in Figure 2.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.modulation.base import Modulation
+from repro.modulation.psk import BPSK, QPSK
+
+__all__ = ["QAM", "QAM4", "QAM16", "QAM64", "make_modulation"]
+
+
+def _gray_to_binary(value: int) -> int:
+    """Convert a Gray-coded integer to its binary index."""
+    result = value
+    shift = 1
+    while (value >> shift) > 0:
+        result ^= value >> shift
+        shift += 1
+    return result
+
+
+def _pam_levels(bits_per_axis: int) -> np.ndarray:
+    """Gray-mapped PAM levels for one axis, indexed by the axis bit value."""
+    n_levels = 1 << bits_per_axis
+    # Level positions -(n-1), -(n-3), ..., (n-1).
+    positions = 2 * np.arange(n_levels) - (n_levels - 1)
+    levels = np.empty(n_levels, dtype=np.float64)
+    for value in range(n_levels):
+        # The bit value is interpreted as a Gray code of the level index so
+        # that adjacent levels differ in exactly one bit.
+        index = _gray_to_binary(value)
+        levels[value] = positions[index]
+    return levels
+
+
+class QAM(Modulation):
+    """Square Gray-mapped QAM with ``2**bits_per_symbol`` points."""
+
+    def __init__(self, bits_per_symbol: int) -> None:
+        if bits_per_symbol % 2 != 0 or bits_per_symbol < 2:
+            raise ValueError(
+                f"square QAM needs an even number of bits per symbol >= 2, got "
+                f"{bits_per_symbol}"
+            )
+        self.bits_per_symbol = bits_per_symbol
+        self.name = f"QAM-{1 << bits_per_symbol}"
+        bits_per_axis = bits_per_symbol // 2
+        axis_levels = _pam_levels(bits_per_axis)
+        n_points = 1 << bits_per_symbol
+        points = np.empty(n_points, dtype=np.complex128)
+        labels = np.empty((n_points, bits_per_symbol), dtype=np.uint8)
+        axis_mask = (1 << bits_per_axis) - 1
+        for value in range(n_points):
+            i_value = (value >> bits_per_axis) & axis_mask
+            q_value = value & axis_mask
+            points[value] = axis_levels[i_value] + 1j * axis_levels[q_value]
+            labels[value] = [(value >> (bits_per_symbol - 1 - b)) & 1 for b in range(bits_per_symbol)]
+        energy = float(np.mean(np.abs(points) ** 2))
+        self._points = points / math.sqrt(energy)
+        self._labels = labels
+
+    def constellation_points(self) -> np.ndarray:
+        return self._points
+
+    def bit_labels(self) -> np.ndarray:
+        return self._labels
+
+
+def QAM4() -> QAM:
+    """Gray-mapped QAM-4 (equivalent to QPSK)."""
+    return QAM(2)
+
+
+def QAM16() -> QAM:
+    """Gray-mapped QAM-16."""
+    return QAM(4)
+
+
+def QAM64() -> QAM:
+    """Gray-mapped QAM-64."""
+    return QAM(6)
+
+
+_MODULATIONS = {
+    "BPSK": BPSK,
+    "QPSK": QPSK,
+    "QAM-4": QAM4,
+    "QAM-16": QAM16,
+    "QAM-64": QAM64,
+}
+
+
+def make_modulation(name: str) -> Modulation:
+    """Factory for the modulations used by the Figure 2 LDPC baselines."""
+    try:
+        return _MODULATIONS[name]()
+    except KeyError:
+        raise ValueError(
+            f"unknown modulation {name!r}; expected one of {sorted(_MODULATIONS)}"
+        ) from None

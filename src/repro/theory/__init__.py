@@ -1,0 +1,46 @@
+"""Information-theoretic reference curves used by the paper's evaluation.
+
+Figure 2 plots three non-simulated curves alongside the spinal and LDPC
+measurements:
+
+* the Shannon capacity of the complex AWGN channel (``log2(1 + SNR)``);
+* the finite-blocklength ("fixed-block") approximation of Polyanskiy, Poor
+  and Verdú for block length 24 and error probability 1e-4;
+* (implicitly, via Theorem 1) the spinal achievable-rate bound
+  ``C - 1/2 log2(pi*e/6)``.
+
+This package computes all three, plus BSC capacity for Theorem 2 /
+experiment E4.
+"""
+
+from repro.theory.bounds import (
+    spinal_awgn_rate_bound,
+    spinal_bsc_rate_bound,
+    spinal_gap_constant,
+)
+from repro.theory.capacity import (
+    awgn_capacity,
+    awgn_capacity_db,
+    binary_entropy,
+    bsc_capacity,
+    shannon_limit_snr_db,
+)
+from repro.theory.finite_blocklength import (
+    awgn_dispersion,
+    normal_approximation_rate,
+    ppv_fixed_block_bound_db,
+)
+
+__all__ = [
+    "awgn_capacity",
+    "awgn_capacity_db",
+    "bsc_capacity",
+    "binary_entropy",
+    "shannon_limit_snr_db",
+    "awgn_dispersion",
+    "normal_approximation_rate",
+    "ppv_fixed_block_bound_db",
+    "spinal_gap_constant",
+    "spinal_awgn_rate_bound",
+    "spinal_bsc_rate_bound",
+]

@@ -1,0 +1,69 @@
+"""Achievable-rate bounds from the paper's two theorems.
+
+Theorem 1 (AWGN): the bubble/ML decoder drives BER to zero provided the
+number of passes ``L`` satisfies
+
+    L * ( C_awgn(SNR) - 1/2 * log2(pi*e/6) )  >  k,
+
+i.e. spinal codes achieve rate ``C - Delta`` with
+``Delta = 1/2 log2(pi e / 6) ≈ 0.2546`` bits/symbol — a small constant gap
+attributed to the linear (non-Gaussian) constellation mapping.
+
+Theorem 2 (BSC): spinal codes achieve the full BSC capacity
+(``L * C_bsc(p) > k`` suffices), i.e. a zero gap.
+
+These bounds are compared against measurements in experiments E3/E4.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.theory.capacity import awgn_capacity_db, bsc_capacity
+
+__all__ = [
+    "spinal_gap_constant",
+    "spinal_awgn_rate_bound",
+    "spinal_bsc_rate_bound",
+    "min_passes_awgn",
+    "min_passes_bsc",
+]
+
+
+def spinal_gap_constant() -> float:
+    """The constant gap ``Delta = 1/2 * log2(pi * e / 6)`` of Theorem 1."""
+    return 0.5 * math.log2(math.pi * math.e / 6.0)
+
+
+def spinal_awgn_rate_bound(snr_db: float) -> float:
+    """Rate guaranteed by Theorem 1 over AWGN, in bits per symbol (>= 0)."""
+    return max(0.0, awgn_capacity_db(snr_db) - spinal_gap_constant())
+
+
+def spinal_bsc_rate_bound(crossover_probability: float) -> float:
+    """Rate guaranteed by Theorem 2 over a BSC, in bits per channel bit."""
+    return bsc_capacity(crossover_probability)
+
+
+def min_passes_awgn(snr_db: float, k: int) -> int:
+    """Smallest number of passes for which Theorem 1 guarantees decoding.
+
+    Returns a large sentinel (2**31) when the guarantee can never hold at
+    this SNR (the per-pass rate bound is non-positive).
+    """
+    if k <= 0:
+        raise ValueError(f"k must be positive, got {k}")
+    per_pass = spinal_awgn_rate_bound(snr_db)
+    if per_pass <= 0.0:
+        return 2**31
+    return int(math.floor(k / per_pass)) + 1
+
+
+def min_passes_bsc(crossover_probability: float, k: int) -> int:
+    """Smallest number of passes for which Theorem 2 guarantees decoding."""
+    if k <= 0:
+        raise ValueError(f"k must be positive, got {k}")
+    capacity = spinal_bsc_rate_bound(crossover_probability)
+    if capacity <= 0.0:
+        return 2**31
+    return int(math.floor(k / capacity)) + 1

@@ -1,0 +1,78 @@
+"""Shannon capacities of the channels used in the paper.
+
+All AWGN capacities are per *complex* (two-dimensional) channel use, matching
+the paper's convention ("for SNR = 30 dB, the capacity in two dimensions is
+roughly 10 bits/s/Hz").
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.utils.units import db_to_linear
+
+__all__ = [
+    "awgn_capacity",
+    "awgn_capacity_db",
+    "bsc_capacity",
+    "binary_entropy",
+    "bec_capacity",
+    "shannon_limit_snr_db",
+]
+
+
+def awgn_capacity(snr_linear: float) -> float:
+    """Capacity of the complex AWGN channel, bits per symbol.
+
+    ``C = log2(1 + SNR)`` where SNR is a linear power ratio per complex
+    symbol.
+    """
+    if snr_linear < 0:
+        raise ValueError(f"SNR must be non-negative, got {snr_linear}")
+    return math.log2(1.0 + snr_linear)
+
+
+def awgn_capacity_db(snr_db: float) -> float:
+    """Capacity of the complex AWGN channel for an SNR given in dB."""
+    return awgn_capacity(db_to_linear(snr_db))
+
+
+def binary_entropy(p: float) -> float:
+    """The binary entropy function ``H2(p)`` in bits."""
+    if not 0.0 <= p <= 1.0:
+        raise ValueError(f"probability must be in [0, 1], got {p}")
+    if p in (0.0, 1.0):
+        return 0.0
+    return -p * math.log2(p) - (1.0 - p) * math.log2(1.0 - p)
+
+
+def bsc_capacity(crossover_probability: float) -> float:
+    """Capacity of the binary symmetric channel, bits per channel bit."""
+    if not 0.0 <= crossover_probability <= 1.0:
+        raise ValueError(
+            f"crossover probability must be in [0, 1], got {crossover_probability}"
+        )
+    return 1.0 - binary_entropy(crossover_probability)
+
+
+def bec_capacity(erasure_probability: float) -> float:
+    """Capacity of the binary erasure channel, bits per channel bit."""
+    if not 0.0 <= erasure_probability <= 1.0:
+        raise ValueError(
+            f"erasure probability must be in [0, 1], got {erasure_probability}"
+        )
+    return 1.0 - erasure_probability
+
+
+def shannon_limit_snr_db(rate_bits_per_symbol: float) -> float:
+    """Minimum SNR (dB) at which an AWGN channel can support a given rate.
+
+    The inverse of :func:`awgn_capacity_db`; used to place the LDPC baseline
+    configurations of Figure 2 relative to their Shannon limits.
+    """
+    if rate_bits_per_symbol <= 0:
+        raise ValueError(
+            f"rate must be positive, got {rate_bits_per_symbol}"
+        )
+    snr_linear = 2.0**rate_bits_per_symbol - 1.0
+    return 10.0 * math.log10(snr_linear)

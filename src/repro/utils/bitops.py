@@ -1,0 +1,139 @@
+"""Bit-level helpers shared across the encoder, decoder, and LDPC substrate.
+
+All functions operate on numpy arrays of dtype ``uint8`` holding one bit per
+element (values 0 or 1), which is the internal bit representation used
+throughout the library.  Integers produced and consumed by these helpers use
+Python ``int`` or numpy ``uint64`` and always follow an MSB-first convention:
+``bits_to_int([1, 0, 1]) == 0b101 == 5``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "bits_to_int",
+    "int_to_bits",
+    "bits_to_bytes",
+    "bytes_to_bits",
+    "pack_segments",
+    "unpack_segments",
+    "random_message_bits",
+    "hamming_distance",
+    "parity",
+]
+
+
+def bits_to_int(bits: np.ndarray) -> int:
+    """Interpret a bit vector (MSB first) as an unsigned integer.
+
+    Parameters
+    ----------
+    bits:
+        1-D array-like of 0/1 values.
+
+    Returns
+    -------
+    int
+        The integer whose binary representation (MSB first) is ``bits``.
+    """
+    bits = np.asarray(bits, dtype=np.uint8)
+    if bits.ndim != 1:
+        raise ValueError(f"bits_to_int expects a 1-D array, got shape {bits.shape}")
+    value = 0
+    for bit in bits:
+        value = (value << 1) | int(bit)
+    return value
+
+
+def int_to_bits(value: int, width: int) -> np.ndarray:
+    """Return the ``width``-bit MSB-first binary representation of ``value``.
+
+    Raises
+    ------
+    ValueError
+        If ``value`` is negative or does not fit in ``width`` bits.
+    """
+    if width <= 0:
+        raise ValueError(f"width must be positive, got {width}")
+    if value < 0:
+        raise ValueError(f"value must be non-negative, got {value}")
+    if value >= (1 << width):
+        raise ValueError(f"value {value} does not fit in {width} bits")
+    out = np.empty(width, dtype=np.uint8)
+    for i in range(width):
+        out[width - 1 - i] = (value >> i) & 1
+    return out
+
+
+def bits_to_bytes(bits: np.ndarray) -> bytes:
+    """Pack a bit vector (length divisible by 8, MSB first) into bytes."""
+    bits = np.asarray(bits, dtype=np.uint8)
+    if bits.size % 8 != 0:
+        raise ValueError(f"bit length {bits.size} is not a multiple of 8")
+    return np.packbits(bits).tobytes()
+
+
+def bytes_to_bits(data: bytes) -> np.ndarray:
+    """Unpack bytes into a bit vector (MSB first within each byte)."""
+    return np.unpackbits(np.frombuffer(data, dtype=np.uint8)).astype(np.uint8)
+
+
+def pack_segments(bits: np.ndarray, k: int) -> np.ndarray:
+    """Split a message into consecutive ``k``-bit segments encoded as integers.
+
+    This is the segmentation step of the spinal encoder (Section 3.1 of the
+    paper): ``M = M_1, M_2, ..., M_{n/k}``.  The message length must be a
+    multiple of ``k`` (the framing layer pads if necessary).
+
+    Returns
+    -------
+    numpy.ndarray
+        1-D ``uint64`` array of length ``len(bits) // k`` where entry ``t`` is
+        the integer value of segment ``M_{t+1}`` (MSB first).
+    """
+    bits = np.asarray(bits, dtype=np.uint8)
+    if bits.ndim != 1:
+        raise ValueError(f"pack_segments expects a 1-D bit array, got shape {bits.shape}")
+    if k <= 0 or k > 63:
+        raise ValueError(f"segment size k must be in [1, 63], got {k}")
+    if bits.size % k != 0:
+        raise ValueError(f"message length {bits.size} is not a multiple of k={k}")
+    segments = bits.reshape(-1, k).astype(np.uint64)
+    weights = (np.uint64(1) << np.arange(k - 1, -1, -1, dtype=np.uint64)).astype(np.uint64)
+    return (segments * weights).sum(axis=1, dtype=np.uint64)
+
+
+def unpack_segments(segments: np.ndarray, k: int) -> np.ndarray:
+    """Inverse of :func:`pack_segments`: expand segment integers into bits."""
+    segments = np.asarray(segments, dtype=np.uint64)
+    if segments.ndim != 1:
+        raise ValueError(f"unpack_segments expects a 1-D array, got shape {segments.shape}")
+    if k <= 0 or k > 63:
+        raise ValueError(f"segment size k must be in [1, 63], got {k}")
+    if segments.size and int(segments.max()) >= (1 << k):
+        raise ValueError(f"segment value {int(segments.max())} does not fit in k={k} bits")
+    shifts = np.arange(k - 1, -1, -1, dtype=np.uint64)
+    bits = (segments[:, None] >> shifts[None, :]) & np.uint64(1)
+    return bits.astype(np.uint8).reshape(-1)
+
+
+def random_message_bits(n_bits: int, rng: np.random.Generator) -> np.ndarray:
+    """Draw a uniformly random message of ``n_bits`` bits."""
+    if n_bits <= 0:
+        raise ValueError(f"n_bits must be positive, got {n_bits}")
+    return rng.integers(0, 2, size=n_bits, dtype=np.uint8)
+
+
+def hamming_distance(a: np.ndarray, b: np.ndarray) -> int:
+    """Number of positions in which two equal-length bit vectors differ."""
+    a = np.asarray(a, dtype=np.uint8)
+    b = np.asarray(b, dtype=np.uint8)
+    if a.shape != b.shape:
+        raise ValueError(f"shape mismatch: {a.shape} vs {b.shape}")
+    return int(np.count_nonzero(a != b))
+
+
+def parity(bits: np.ndarray) -> int:
+    """XOR of all bits (0 or 1)."""
+    return int(np.bitwise_xor.reduce(np.asarray(bits, dtype=np.uint8))) & 1

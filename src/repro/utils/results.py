@@ -1,0 +1,180 @@
+"""Light-weight result containers and text rendering for experiments.
+
+The benchmark harness regenerates the paper's figure as *text tables* (one
+row per SNR point, one column per curve).  These containers keep the raw
+per-trial measurements together with their aggregates so that tests can make
+assertions about distributions, not just means.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
+
+__all__ = ["RateMeasurement", "SweepResult", "render_table", "mean", "std_error"]
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean, raising on empty input instead of returning NaN."""
+    if not values:
+        raise ValueError("mean of empty sequence")
+    return sum(values) / len(values)
+
+
+def std_error(values: Sequence[float]) -> float:
+    """Standard error of the mean (0.0 for a single sample)."""
+    if not values:
+        raise ValueError("std_error of empty sequence")
+    if len(values) == 1:
+        return 0.0
+    mu = mean(values)
+    var = sum((v - mu) ** 2 for v in values) / (len(values) - 1)
+    return math.sqrt(var / len(values))
+
+
+@dataclass
+class RateMeasurement:
+    """Aggregate of rateless-code trials at a single operating point.
+
+    Attributes
+    ----------
+    snr_db:
+        Operating SNR in dB (or ``None`` for channels without an SNR, e.g.
+        a BSC where ``param`` carries the crossover probability).
+    param:
+        Free-form operating parameter (e.g. BSC crossover probability).
+    rates:
+        Achieved rate of each trial, in message bits per channel use
+        (bits/symbol for AWGN, bits/channel-bit for BSC).
+    symbols_sent:
+        Number of channel uses needed in each trial.
+    decoded_ok:
+        Whether each trial terminated with the correct message.
+    """
+
+    snr_db: float | None
+    rates: list[float] = field(default_factory=list)
+    symbols_sent: list[int] = field(default_factory=list)
+    decoded_ok: list[bool] = field(default_factory=list)
+    param: float | None = None
+
+    def add_trial(self, rate: float, symbols: int, ok: bool) -> None:
+        """Record the outcome of one rateless transmission."""
+        self.rates.append(float(rate))
+        self.symbols_sent.append(int(symbols))
+        self.decoded_ok.append(bool(ok))
+
+    @property
+    def n_trials(self) -> int:
+        return len(self.rates)
+
+    @property
+    def mean_rate(self) -> float:
+        """Mean achieved rate over all trials (the quantity plotted in Fig. 2)."""
+        return mean(self.rates)
+
+    @property
+    def rate_std_error(self) -> float:
+        return std_error(self.rates)
+
+    @property
+    def aggregate_rate(self) -> float:
+        """Total-bits-over-total-symbols rate (ratio of means).
+
+        The per-trial mean rate (mean of ratios) can sit slightly above
+        channel capacity for very short messages because lucky trials stop
+        early; the aggregate rate weights every channel use equally and is
+        the right quantity for long-run throughput comparisons.  Requires
+        ``symbols_sent`` and ``rates`` to describe the same trials.
+        """
+        total_symbols = sum(self.symbols_sent)
+        if total_symbols == 0:
+            raise ValueError("no symbols recorded; aggregate rate undefined")
+        total_bits = sum(r * s for r, s in zip(self.rates, self.symbols_sent))
+        return total_bits / total_symbols
+
+    @property
+    def success_fraction(self) -> float:
+        if not self.decoded_ok:
+            raise ValueError("no trials recorded")
+        return sum(self.decoded_ok) / len(self.decoded_ok)
+
+
+@dataclass
+class SweepResult:
+    """A named curve: one :class:`RateMeasurement` per x-axis point."""
+
+    name: str
+    points: list[RateMeasurement] = field(default_factory=list)
+    metadata: dict = field(default_factory=dict)
+
+    def add_point(self, point: RateMeasurement) -> None:
+        self.points.append(point)
+
+    def x_values(self) -> list[float]:
+        return [p.snr_db if p.snr_db is not None else (p.param or 0.0) for p in self.points]
+
+    def mean_rates(self) -> list[float]:
+        return [p.mean_rate for p in self.points]
+
+    def as_rows(self) -> list[tuple[float, float, float]]:
+        """Rows of (x, mean rate, std error) for table rendering."""
+        return [
+            (x, p.mean_rate, p.rate_std_error)
+            for x, p in zip(self.x_values(), self.points)
+        ]
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    float_format: str = "{:.3f}",
+) -> str:
+    """Render rows as a fixed-width text table (used by the bench harness).
+
+    Numbers are formatted with ``float_format``; other values via ``str``.
+    """
+    formatted_rows: list[list[str]] = []
+    for row in rows:
+        formatted: list[str] = []
+        for cell in row:
+            if isinstance(cell, bool) or not isinstance(cell, (int, float)):
+                formatted.append(str(cell))
+            elif isinstance(cell, int):
+                formatted.append(str(cell))
+            else:
+                formatted.append(float_format.format(cell))
+        formatted_rows.append(formatted)
+
+    widths = [len(h) for h in headers]
+    for row in formatted_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} columns"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt_line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(cells))
+
+    lines = [fmt_line(list(headers)), fmt_line(["-" * w for w in widths])]
+    lines.extend(fmt_line(row) for row in formatted_rows)
+    return "\n".join(lines)
+
+
+def curves_to_table(curves: Mapping[str, SweepResult], x_label: str = "x") -> str:
+    """Merge several sweeps sharing x values into a single text table."""
+    if not curves:
+        raise ValueError("no curves supplied")
+    names = list(curves)
+    xs = curves[names[0]].x_values()
+    for name in names[1:]:
+        if curves[name].x_values() != xs:
+            raise ValueError(f"curve {name!r} has mismatching x values")
+    headers = [x_label] + names
+    rows = []
+    for i, x in enumerate(xs):
+        rows.append([x] + [curves[name].points[i].mean_rate for name in names])
+    return render_table(headers, rows)

@@ -1,0 +1,131 @@
+"""Unit tests for repro.utils.bitops."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.utils.bitops import (
+    bits_to_bytes,
+    bits_to_int,
+    bytes_to_bits,
+    hamming_distance,
+    int_to_bits,
+    pack_segments,
+    parity,
+    random_message_bits,
+    unpack_segments,
+)
+
+
+class TestBitsToInt:
+    def test_msb_first_convention(self):
+        assert bits_to_int([1, 0, 1]) == 5
+
+    def test_all_zeros(self):
+        assert bits_to_int([0, 0, 0, 0]) == 0
+
+    def test_all_ones(self):
+        assert bits_to_int([1] * 8) == 255
+
+    def test_single_bit(self):
+        assert bits_to_int([1]) == 1
+
+    def test_rejects_2d_input(self):
+        with pytest.raises(ValueError):
+            bits_to_int(np.zeros((2, 2), dtype=np.uint8))
+
+
+class TestIntToBits:
+    def test_roundtrip_with_bits_to_int(self):
+        for value in (0, 1, 5, 170, 255):
+            assert bits_to_int(int_to_bits(value, 8)) == value
+
+    def test_width_is_respected(self):
+        assert int_to_bits(3, 5).tolist() == [0, 0, 0, 1, 1]
+
+    def test_rejects_value_too_large(self):
+        with pytest.raises(ValueError):
+            int_to_bits(16, 4)
+
+    def test_rejects_negative_value(self):
+        with pytest.raises(ValueError):
+            int_to_bits(-1, 4)
+
+    def test_rejects_non_positive_width(self):
+        with pytest.raises(ValueError):
+            int_to_bits(0, 0)
+
+
+class TestBytesConversion:
+    def test_roundtrip(self):
+        data = bytes([0, 1, 127, 128, 255])
+        assert bits_to_bytes(bytes_to_bits(data)) == data
+
+    def test_bit_order_msb_first(self):
+        assert bytes_to_bits(b"\x80")[0] == 1
+        assert bytes_to_bits(b"\x01")[7] == 1
+
+    def test_rejects_non_multiple_of_eight(self):
+        with pytest.raises(ValueError):
+            bits_to_bytes(np.ones(7, dtype=np.uint8))
+
+
+class TestSegments:
+    def test_pack_simple(self):
+        bits = np.array([1, 0, 1, 1, 0, 0, 0, 1], dtype=np.uint8)
+        segments = pack_segments(bits, 4)
+        assert segments.tolist() == [0b1011, 0b0001]
+
+    def test_pack_unpack_roundtrip(self, rng):
+        bits = random_message_bits(24, rng)
+        assert np.array_equal(unpack_segments(pack_segments(bits, 8), 8), bits)
+
+    def test_pack_rejects_bad_length(self):
+        with pytest.raises(ValueError):
+            pack_segments(np.ones(10, dtype=np.uint8), 4)
+
+    def test_pack_rejects_bad_k(self):
+        with pytest.raises(ValueError):
+            pack_segments(np.ones(8, dtype=np.uint8), 0)
+
+    def test_unpack_rejects_oversized_value(self):
+        with pytest.raises(ValueError):
+            unpack_segments(np.array([16], dtype=np.uint64), 4)
+
+    def test_pack_dtype_is_uint64(self, rng):
+        segments = pack_segments(random_message_bits(16, rng), 4)
+        assert segments.dtype == np.uint64
+
+
+class TestRandomMessageBits:
+    def test_length_and_values(self, rng):
+        bits = random_message_bits(100, rng)
+        assert bits.shape == (100,)
+        assert set(np.unique(bits)).issubset({0, 1})
+
+    def test_rejects_non_positive_length(self, rng):
+        with pytest.raises(ValueError):
+            random_message_bits(0, rng)
+
+    def test_deterministic_given_seed(self):
+        a = random_message_bits(64, np.random.default_rng(3))
+        b = random_message_bits(64, np.random.default_rng(3))
+        assert np.array_equal(a, b)
+
+
+class TestHammingAndParity:
+    def test_hamming_distance(self):
+        assert hamming_distance([0, 1, 1], [1, 1, 0]) == 2
+
+    def test_hamming_zero_for_equal(self, rng):
+        bits = random_message_bits(32, rng)
+        assert hamming_distance(bits, bits) == 0
+
+    def test_hamming_rejects_mismatched_shapes(self):
+        with pytest.raises(ValueError):
+            hamming_distance([0, 1], [0, 1, 1])
+
+    def test_parity(self):
+        assert parity([1, 1, 0]) == 0
+        assert parity([1, 0, 0]) == 1

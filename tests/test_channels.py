@@ -1,0 +1,219 @@
+"""Unit tests for the channel models."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.channels import (
+    AWGNChannel,
+    BECChannel,
+    BSCChannel,
+    ERASURE,
+    RayleighBlockFadingChannel,
+    TimeVaryingAWGNChannel,
+)
+from repro.channels.quantize import AdcQuantizer
+from repro.channels.traces import (
+    constant_trace,
+    gilbert_elliott_trace,
+    random_walk_trace,
+    sinusoidal_trace,
+)
+
+
+class TestAWGNChannel:
+    def test_noise_energy_matches_snr(self, rng):
+        channel = AWGNChannel(snr_db=10.0)
+        assert channel.noise_energy == pytest.approx(0.1)
+        assert channel.snr_linear == pytest.approx(10.0)
+
+    def test_empirical_noise_power(self, rng):
+        channel = AWGNChannel(snr_db=3.0)
+        clean = np.zeros(20000, dtype=np.complex128)
+        received = channel.transmit(clean, rng)
+        measured = float(np.mean(np.abs(received) ** 2))
+        assert measured == pytest.approx(channel.noise_energy, rel=0.05)
+
+    def test_noise_is_circular(self, rng):
+        channel = AWGNChannel(snr_db=0.0)
+        received = channel.transmit(np.zeros(20000, dtype=np.complex128), rng)
+        assert float(np.mean(received.real**2)) == pytest.approx(0.5, rel=0.1)
+        assert float(np.mean(received.imag**2)) == pytest.approx(0.5, rel=0.1)
+
+    def test_adc_quantisation_applied(self, rng):
+        channel = AWGNChannel(snr_db=10.0, adc_bits=4)
+        received = channel.transmit(np.ones(100, dtype=np.complex128), rng)
+        # With a 4-bit ADC there are at most 16 distinct values per dimension.
+        assert len(np.unique(received.real)) <= 16
+
+    def test_14_bit_adc_nearly_transparent(self, rng):
+        # Stay well inside the ADC full scale so only quantisation error remains.
+        values = 0.5 * (rng.standard_normal(1000) + 1j * rng.standard_normal(1000))
+        values = np.clip(values.real, -1.5, 1.5) + 1j * np.clip(values.imag, -1.5, 1.5)
+        coarse = AWGNChannel(snr_db=100.0, adc_bits=14)
+        received = coarse.transmit(values, rng)
+        assert np.max(np.abs(received - values)) < 1e-2
+
+    def test_rejects_bad_signal_power(self):
+        with pytest.raises(ValueError):
+            AWGNChannel(snr_db=10.0, signal_power=0.0)
+
+    def test_describe_mentions_snr(self):
+        assert "10.0" in AWGNChannel(snr_db=10.0).describe()
+
+
+class TestTimeVaryingAWGN:
+    def test_trace_indexing_and_reset(self, rng):
+        channel = TimeVaryingAWGNChannel([30.0, -10.0])
+        channel.transmit(np.zeros(1, dtype=np.complex128), rng)
+        assert channel._cursor == 1
+        channel.reset()
+        assert channel._cursor == 0
+
+    def test_noise_follows_trace(self, rng):
+        # First 2000 symbols at 30 dB, next 2000 at -10 dB.
+        trace = [30.0] * 2000 + [-10.0] * 2000
+        channel = TimeVaryingAWGNChannel(trace)
+        quiet = channel.transmit(np.zeros(2000, dtype=np.complex128), rng)
+        loud = channel.transmit(np.zeros(2000, dtype=np.complex128), rng)
+        assert np.mean(np.abs(quiet) ** 2) < np.mean(np.abs(loud) ** 2) / 100
+
+    def test_trace_wraps_around(self, rng):
+        channel = TimeVaryingAWGNChannel([20.0, 20.0, 20.0])
+        received = channel.transmit(np.zeros(10, dtype=np.complex128), rng)
+        assert received.shape == (10,)
+
+    def test_mean_snr(self):
+        assert TimeVaryingAWGNChannel([0.0, 10.0]).mean_snr_db == pytest.approx(5.0)
+
+    def test_rejects_empty_trace(self):
+        with pytest.raises(ValueError):
+            TimeVaryingAWGNChannel([])
+
+
+class TestBSCChannel:
+    def test_flip_probability(self, rng):
+        channel = BSCChannel(0.2)
+        bits = np.zeros(50000, dtype=np.uint8)
+        flipped = channel.transmit(bits, rng)
+        assert float(flipped.mean()) == pytest.approx(0.2, abs=0.02)
+
+    def test_zero_probability_is_identity(self, rng):
+        channel = BSCChannel(0.0)
+        bits = rng.integers(0, 2, size=100, dtype=np.uint8)
+        assert np.array_equal(channel.transmit(bits, rng), bits)
+
+    def test_rejects_invalid_probability(self):
+        with pytest.raises(ValueError):
+            BSCChannel(0.7)
+        with pytest.raises(ValueError):
+            BSCChannel(-0.1)
+
+    def test_rejects_non_binary_input(self, rng):
+        with pytest.raises(ValueError):
+            BSCChannel(0.1).transmit(np.array([0, 1, 2], dtype=np.uint8), rng)
+
+
+class TestBECChannel:
+    def test_erasure_probability(self, rng):
+        channel = BECChannel(0.3)
+        bits = np.zeros(50000, dtype=np.uint8)
+        received = channel.transmit(bits, rng)
+        assert float(np.mean(received == ERASURE)) == pytest.approx(0.3, abs=0.02)
+
+    def test_non_erased_bits_unchanged(self, rng):
+        channel = BECChannel(0.5)
+        bits = rng.integers(0, 2, size=1000, dtype=np.uint8)
+        received = channel.transmit(bits, rng)
+        kept = received != ERASURE
+        assert np.array_equal(received[kept], bits[kept])
+
+    def test_rejects_invalid_probability(self):
+        with pytest.raises(ValueError):
+            BECChannel(1.0)
+
+
+class TestFadingChannel:
+    def test_reset_restores_block_state(self, rng):
+        channel = RayleighBlockFadingChannel(average_snr_db=20.0, coherence_symbols=4)
+        channel.transmit(np.ones(3, dtype=np.complex128), rng)
+        channel.reset()
+        assert channel._symbols_in_block == 0
+
+    def test_mean_noise_enhancement_exceeds_awgn(self, rng):
+        """Equalised fading noise is on average stronger than pure AWGN noise."""
+        awgn = AWGNChannel(snr_db=10.0)
+        fading = RayleighBlockFadingChannel(average_snr_db=10.0, coherence_symbols=8)
+        clean = np.zeros(4000, dtype=np.complex128)
+        awgn_power = np.mean(np.abs(awgn.transmit(clean, rng)) ** 2)
+        fading_power = np.mean(np.abs(fading.transmit(clean, rng)) ** 2)
+        assert fading_power > awgn_power
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            RayleighBlockFadingChannel(10.0, coherence_symbols=0)
+        with pytest.raises(ValueError):
+            RayleighBlockFadingChannel(10.0, signal_power=-1.0)
+
+
+class TestAdcQuantizer:
+    def test_step_size(self):
+        quantizer = AdcQuantizer(bits=3, full_scale=4.0)
+        assert quantizer.step == pytest.approx(1.0)
+
+    def test_quantisation_error_bounded_by_half_step(self, rng):
+        quantizer = AdcQuantizer(bits=8, full_scale=2.0)
+        values = rng.uniform(-1.9, 1.9, size=1000)
+        error = np.abs(quantizer.quantize_real(values) - values)
+        assert np.max(error) <= quantizer.step / 2 + 1e-12
+
+    def test_saturation(self):
+        quantizer = AdcQuantizer(bits=4, full_scale=1.0)
+        assert quantizer.quantize_real(np.array([10.0]))[0] <= 1.0
+        assert quantizer.quantize_real(np.array([-10.0]))[0] >= -1.0
+
+    def test_complex_quantisation(self, rng):
+        quantizer = AdcQuantizer(bits=6, full_scale=2.0)
+        values = rng.standard_normal(100) + 1j * rng.standard_normal(100)
+        out = quantizer.quantize(values)
+        assert np.iscomplexobj(out)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            AdcQuantizer(bits=0, full_scale=1.0)
+        with pytest.raises(ValueError):
+            AdcQuantizer(bits=8, full_scale=0.0)
+
+
+class TestTraces:
+    def test_constant(self):
+        assert np.all(constant_trace(5.0, 10) == 5.0)
+
+    def test_random_walk_bounds(self, rng):
+        trace = random_walk_trace(10.0, 5000, 2.0, rng, min_snr_db=0.0, max_snr_db=20.0)
+        assert trace.min() >= 0.0 and trace.max() <= 20.0
+
+    def test_random_walk_moves(self, rng):
+        trace = random_walk_trace(10.0, 100, 1.0, rng)
+        assert np.std(trace) > 0.0
+
+    def test_gilbert_elliott_two_levels(self, rng):
+        trace = gilbert_elliott_trace(20.0, 0.0, 2000, rng)
+        assert set(np.unique(trace)).issubset({0.0, 20.0})
+        assert 0.0 in trace and 20.0 in trace
+
+    def test_sinusoidal_period(self):
+        trace = sinusoidal_trace(10.0, 5.0, period_symbols=20, length=40)
+        assert trace[0] == pytest.approx(trace[20])
+        assert trace.max() <= 15.0 + 1e-9
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            constant_trace(0.0, 0)
+        with pytest.raises(ValueError):
+            random_walk_trace(0.0, 10, 1.0, rng, min_snr_db=5.0, max_snr_db=1.0)
+        with pytest.raises(ValueError):
+            gilbert_elliott_trace(10.0, 0.0, 10, rng, p_good_to_bad=1.5)
+        with pytest.raises(ValueError):
+            sinusoidal_trace(0.0, 1.0, 0, 10)

@@ -1,0 +1,113 @@
+"""Tests for the CLI entry points and the ASCII plot helper."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.utils.asciiplot import ascii_plot
+
+
+class TestAsciiPlot:
+    def test_contains_markers_and_legend(self):
+        chart = ascii_plot(
+            [0.0, 1.0, 2.0],
+            {"capacity": [0.0, 1.0, 2.0], "spinal": [0.0, 0.8, 1.7]},
+            x_label="SNR",
+            y_label="rate",
+        )
+        assert "*" in chart and "o" in chart
+        assert "capacity" in chart and "spinal" in chart
+        assert "SNR" in chart
+
+    def test_constant_series_does_not_crash(self):
+        chart = ascii_plot([0.0, 1.0], {"flat": [1.0, 1.0]})
+        assert "flat" in chart
+
+    def test_dimension_validation(self):
+        with pytest.raises(ValueError):
+            ascii_plot([0.0, 1.0], {"a": [1.0, 2.0]}, width=4)
+        with pytest.raises(ValueError):
+            ascii_plot([0.0], {"a": [1.0]})
+        with pytest.raises(ValueError):
+            ascii_plot([0.0, 1.0], {})
+        with pytest.raises(ValueError):
+            ascii_plot([0.0, 1.0], {"a": [1.0]})
+
+
+class TestParser:
+    def test_rate_command_defaults(self):
+        args = build_parser().parse_args(["rate", "10"])
+        assert args.command == "rate"
+        assert args.snrs == [10.0]
+        assert args.k == 8 and args.beam_width == 16
+
+    def test_bsc_command(self):
+        args = build_parser().parse_args(["bsc", "0.05", "0.1", "--trials", "3"])
+        assert args.command == "bsc"
+        assert args.crossovers == [0.05, 0.1]
+        assert args.trials == 3
+
+    def test_figure2_command(self):
+        args = build_parser().parse_args(["figure2", "--snr-step", "10"])
+        assert args.snr_step == 10.0
+
+    def test_ldpc_command(self):
+        args = build_parser().parse_args(["ldpc", "5", "--rate", "3/4", "--modulation", "QAM-64"])
+        assert args.rate == "3/4"
+        assert args.modulation == "QAM-64"
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestMainEndToEnd:
+    """Run the CLI commands with tiny workloads (they print and return text)."""
+
+    def test_rate(self, capsys):
+        output = main(
+            [
+                "rate", "6", "12",
+                "--payload-bits", "16", "--k", "4", "--c", "6",
+                "--trials", "3", "--beam-width", "8", "--plot",
+            ]
+        )
+        assert "SNR(dB)" in output and "capacity" in output
+        assert "bits/symbol" in output  # the ASCII chart legend
+        assert capsys.readouterr().out  # printed something
+
+    def test_rate_single_point_skips_plot(self):
+        output = main(
+            [
+                "rate", "12",
+                "--payload-bits", "16", "--k", "4", "--c", "6",
+                "--trials", "2", "--beam-width", "8", "--plot",
+            ]
+        )
+        assert "SNR(dB)" in output
+
+    def test_bsc(self):
+        output = main(
+            [
+                "bsc", "0.05",
+                "--payload-bits", "16", "--k", "4", "--trials", "3", "--beam-width", "8",
+            ]
+        )
+        assert "rate (b/bit)" in output
+
+    def test_figure2_without_ldpc(self):
+        output = main(
+            ["figure2", "--snr-min", "0", "--snr-max", "20", "--snr-step", "10", "--trials", "3"]
+        )
+        assert "Shannon" in output and "Spinal" in output
+
+    def test_ldpc(self):
+        output = main(
+            [
+                "ldpc", "8",
+                "--rate", "1/2", "--modulation", "BPSK",
+                "--frames", "4", "--iterations", "10",
+            ]
+        )
+        assert "achieved rate" in output

@@ -1,0 +1,144 @@
+"""Unit tests for the constellation mapping functions (repro.core.constellation)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.constellation import (
+    LinearConstellation,
+    OffsetLinearConstellation,
+    TruncatedGaussianConstellation,
+    make_constellation,
+)
+
+ALL_KINDS = ["linear", "offset-linear", "truncated-gaussian"]
+
+
+@pytest.mark.parametrize("kind", ALL_KINDS)
+class TestCommonProperties:
+    def test_unit_average_energy(self, kind):
+        mapper = make_constellation(kind, c=6)
+        assert mapper.average_energy == pytest.approx(1.0, rel=1e-9)
+
+    def test_custom_average_energy(self, kind):
+        mapper = make_constellation(kind, c=6, average_power=4.0)
+        assert mapper.average_energy == pytest.approx(4.0, rel=1e-9)
+
+    def test_bits_per_symbol(self, kind):
+        assert make_constellation(kind, c=5).bits_per_symbol == 10
+
+    def test_map_values_shape_and_type(self, kind):
+        mapper = make_constellation(kind, c=4)
+        out = mapper.map_values(np.arange(16, dtype=np.uint64))
+        assert out.shape == (16,)
+        assert np.iscomplexobj(out)
+
+    def test_rejects_value_out_of_range(self, kind):
+        mapper = make_constellation(kind, c=3)
+        with pytest.raises(ValueError):
+            mapper.map_values(np.array([1 << 6], dtype=np.uint64))
+
+    def test_i_and_q_independent(self, kind):
+        """The first c bits set I and the last c bits set Q."""
+        mapper = make_constellation(kind, c=4)
+        value_i = np.uint64(0b1010 << 4)
+        value_q = np.uint64(0b1010)
+        point_i = mapper.map_values(value_i)
+        point_q = mapper.map_values(value_q)
+        assert point_i.real == pytest.approx(point_q.imag)
+
+    def test_enumerate_points_count(self, kind):
+        mapper = make_constellation(kind, c=3)
+        assert mapper.enumerate_points().shape == (64,)
+
+    def test_axis_levels_count(self, kind):
+        mapper = make_constellation(kind, c=5)
+        assert mapper.axis_levels().shape == (32,)
+
+    def test_peak_at_least_average(self, kind):
+        mapper = make_constellation(kind, c=6)
+        assert mapper.peak_energy >= mapper.average_energy
+
+
+class TestLinearConstellation:
+    def test_sign_magnitude_structure(self):
+        mapper = LinearConstellation(c=4, average_power=1.0)
+        levels = mapper.map_axis(np.arange(16))
+        # First half (sign bit 0) non-negative, second half non-positive.
+        assert np.all(levels[:8] >= 0)
+        assert np.all(levels[8:] <= 0)
+
+    def test_magnitude_linear_in_value(self):
+        mapper = LinearConstellation(c=4, average_power=1.0)
+        levels = mapper.map_axis(np.arange(8))
+        spacing = np.diff(levels)
+        assert np.allclose(spacing, spacing[0])
+
+    def test_eq3_formula(self):
+        """Check the exact Eq. (3) mapping for a hand-computed case."""
+        mapper = LinearConstellation(c=3, average_power=1.0)
+        p_star = mapper.peak_amplitude
+        # Value 0b101: sign bit 1, magnitude 0b01 = 1 -> -(1/3) * P*.
+        assert mapper.map_axis(np.array([0b101]))[0] == pytest.approx(-p_star / 3.0)
+
+    def test_rejects_c_below_two(self):
+        with pytest.raises(ValueError):
+            LinearConstellation(c=1)
+
+
+class TestOffsetLinearConstellation:
+    def test_levels_are_symmetric(self):
+        mapper = OffsetLinearConstellation(c=4)
+        levels = mapper.axis_levels()
+        assert np.allclose(np.sort(levels), -np.sort(levels)[::-1])
+
+    def test_uniform_spacing(self):
+        mapper = OffsetLinearConstellation(c=4)
+        spacing = np.diff(np.sort(mapper.axis_levels()))
+        assert np.allclose(spacing, spacing[0])
+
+
+class TestTruncatedGaussianConstellation:
+    def test_levels_monotone_in_value(self):
+        mapper = TruncatedGaussianConstellation(c=5)
+        levels = mapper.axis_levels()
+        assert np.all(np.diff(levels) > 0)
+
+    def test_levels_bounded_by_truncation(self):
+        beta = 2.0
+        mapper = TruncatedGaussianConstellation(c=6, beta=beta)
+        # Scaling preserves the shape; the ratio max/std stays below beta-ish.
+        levels = mapper.axis_levels()
+        assert np.max(np.abs(levels)) < beta * 1.5
+
+    def test_denser_near_origin_than_uniform(self):
+        gaussian = TruncatedGaussianConstellation(c=6)
+        uniform = OffsetLinearConstellation(c=6)
+        g_levels = np.sort(np.abs(gaussian.axis_levels()))
+        u_levels = np.sort(np.abs(uniform.axis_levels()))
+        # The median |level| of the Gaussian map is smaller.
+        assert np.median(g_levels) < np.median(u_levels)
+
+    def test_rejects_bad_beta(self):
+        with pytest.raises(ValueError):
+            TruncatedGaussianConstellation(c=4, beta=0.0)
+
+
+class TestFactory:
+    def test_unknown_kind_raises(self):
+        with pytest.raises(ValueError):
+            make_constellation("hexagonal", c=4)
+
+    def test_returns_requested_type(self):
+        assert isinstance(make_constellation("linear", 4), LinearConstellation)
+        assert isinstance(
+            make_constellation("offset-linear", 4), OffsetLinearConstellation
+        )
+        assert isinstance(
+            make_constellation("truncated-gaussian", 4), TruncatedGaussianConstellation
+        )
+
+    def test_enumerate_refuses_huge_constellations(self):
+        with pytest.raises(ValueError):
+            make_constellation("offset-linear", 16).enumerate_points()

@@ -1,0 +1,139 @@
+"""Unit tests for CRC computation and message framing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.crc import CRC8, CRC16_CCITT, CRC32, Crc
+from repro.core.framing import Framer
+from repro.utils.bitops import bytes_to_bits, random_message_bits
+
+
+class TestCrc:
+    def test_width_matches(self):
+        bits = np.ones(16, dtype=np.uint8)
+        assert CRC8.compute(bits).size == 8
+        assert CRC16_CCITT.compute(bits).size == 16
+        assert CRC32.compute(bits).size == 32
+
+    def test_append_then_check_passes(self, rng):
+        payload = random_message_bits(40, rng)
+        assert CRC16_CCITT.check(CRC16_CCITT.append(payload))
+
+    def test_single_bit_error_detected(self, rng):
+        payload = random_message_bits(40, rng)
+        framed = CRC16_CCITT.append(payload)
+        for position in range(framed.size):
+            corrupted = framed.copy()
+            corrupted[position] ^= 1
+            assert not CRC16_CCITT.check(corrupted)
+
+    def test_burst_error_detected(self, rng):
+        payload = random_message_bits(64, rng)
+        framed = CRC8.append(payload)
+        corrupted = framed.copy()
+        corrupted[10:16] ^= 1
+        assert not CRC8.check(corrupted)
+
+    def test_check_rejects_too_short_input(self):
+        assert not CRC32.check(np.ones(8, dtype=np.uint8))
+
+    def test_crc16_ccitt_known_vector(self):
+        """CRC-16/CCITT-FALSE of ASCII '123456789' is 0x29B1."""
+        message = bytes_to_bits(b"123456789")
+        crc_bits = CRC16_CCITT.compute(message)
+        value = int("".join(map(str, crc_bits)), 2)
+        assert value == 0x29B1
+
+    def test_rejects_invalid_width(self):
+        with pytest.raises(ValueError):
+            Crc(width=0, polynomial=0x3)
+
+    def test_rejects_oversized_polynomial(self):
+        with pytest.raises(ValueError):
+            Crc(width=4, polynomial=0x1F)
+
+    def test_rejects_2d_input(self):
+        with pytest.raises(ValueError):
+            CRC8.compute(np.zeros((2, 4), dtype=np.uint8))
+
+    def test_different_messages_usually_differ(self, rng):
+        payload_a = random_message_bits(32, rng)
+        payload_b = payload_a.copy()
+        payload_b[0] ^= 1
+        assert not np.array_equal(CRC32.compute(payload_a), CRC32.compute(payload_b))
+
+
+class TestFramer:
+    def test_lengths_without_crc(self):
+        framer = Framer(payload_bits=24, k=8)
+        assert framer.framed_bits == 24
+        assert framer.pad_bits == 0
+        assert framer.n_segments == 3
+        assert framer.overhead_bits == 0
+
+    def test_lengths_with_crc_and_padding(self):
+        framer = Framer(payload_bits=20, k=8, crc=CRC8)
+        # 20 + 8 = 28 -> pad 4 -> 32 bits, 4 segments.
+        assert framer.pad_bits == 4
+        assert framer.framed_bits == 32
+        assert framer.n_segments == 4
+        assert framer.overhead_bits == 12
+
+    def test_tail_segments_add_known_zeros(self):
+        framer = Framer(payload_bits=16, k=8, tail_segments=2)
+        assert framer.framed_bits == 32
+        framed = framer.frame(np.ones(16, dtype=np.uint8))
+        assert np.all(framed[16:] == 0)
+
+    def test_frame_extract_roundtrip(self, rng):
+        framer = Framer(payload_bits=24, k=8, crc=CRC16_CCITT, tail_segments=1)
+        payload = random_message_bits(24, rng)
+        framed = framer.frame(payload)
+        assert framed.size == framer.framed_bits
+        assert np.array_equal(framer.extract_payload(framed), payload)
+
+    def test_check_accepts_valid_frame(self, rng):
+        framer = Framer(payload_bits=24, k=8, crc=CRC16_CCITT)
+        assert framer.check(framer.frame(random_message_bits(24, rng)))
+
+    def test_check_rejects_corrupted_payload(self, rng):
+        framer = Framer(payload_bits=24, k=8, crc=CRC16_CCITT)
+        framed = framer.frame(random_message_bits(24, rng))
+        framed[3] ^= 1
+        assert not framer.check(framed)
+
+    def test_check_rejects_nonzero_tail(self, rng):
+        framer = Framer(payload_bits=24, k=8, tail_segments=1)
+        framed = framer.frame(random_message_bits(24, rng))
+        framed[-1] = 1
+        assert not framer.check(framed)
+
+    def test_check_rejects_wrong_length(self):
+        framer = Framer(payload_bits=24, k=8)
+        assert not framer.check(np.zeros(16, dtype=np.uint8))
+
+    def test_frame_rejects_wrong_payload_length(self):
+        framer = Framer(payload_bits=24, k=8)
+        with pytest.raises(ValueError):
+            framer.frame(np.zeros(23, dtype=np.uint8))
+
+    def test_extract_rejects_wrong_length(self):
+        framer = Framer(payload_bits=24, k=8)
+        with pytest.raises(ValueError):
+            framer.extract_payload(np.zeros(25, dtype=np.uint8))
+
+    def test_rejects_bad_constructor_args(self):
+        with pytest.raises(ValueError):
+            Framer(payload_bits=0, k=8)
+        with pytest.raises(ValueError):
+            Framer(payload_bits=8, k=0)
+        with pytest.raises(ValueError):
+            Framer(payload_bits=8, k=4, tail_segments=-1)
+
+    def test_check_without_crc_accepts_any_payload(self, rng):
+        """Without a CRC only the known bits are verified (documented weakness)."""
+        framer = Framer(payload_bits=16, k=8)
+        other_payload = random_message_bits(16, rng)
+        assert framer.check(other_payload)

@@ -1,0 +1,174 @@
+"""Unit tests for the bubble (beam) decoder and the exhaustive ML decoder."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.decoder_bubble import BubbleDecoder
+from repro.core.decoder_ml import MLDecoder
+from repro.core.encoder import ReceivedObservations, SpinalEncoder
+from repro.core.params import SpinalParams
+from repro.utils.bitops import random_message_bits
+
+
+def noisy_observations(encoder, message, n_passes, sigma, rng):
+    """Clean passes plus complex Gaussian noise of per-dimension std ``sigma``."""
+    values = encoder.encode_passes(message, n_passes)
+    noise = sigma * (rng.standard_normal(values.shape) + 1j * rng.standard_normal(values.shape))
+    observations = ReceivedObservations(values.shape[1])
+    for pass_index in range(n_passes):
+        for position in range(values.shape[1]):
+            observations.add(position, pass_index, values[pass_index, position] + noise[pass_index, position])
+    return observations
+
+
+class TestBubbleDecoderNoiseless:
+    def test_recovers_message_from_one_pass(self, small_encoder, make_observations, rng):
+        message = random_message_bits(16, rng)
+        observations = make_observations(small_encoder, message, n_passes=1)
+        decoder = BubbleDecoder(small_encoder, beam_width=4)
+        result = decoder.decode(16, observations)
+        assert np.array_equal(result.message_bits, message)
+        assert result.path_cost == pytest.approx(0.0, abs=1e-15)
+
+    def test_recovers_with_beam_width_one(self, small_encoder, make_observations, rng):
+        """Noiselessly, even B=1 greedy decoding follows the true path."""
+        message = random_message_bits(16, rng)
+        observations = make_observations(small_encoder, message, n_passes=1)
+        result = BubbleDecoder(small_encoder, beam_width=1).decode(16, observations)
+        assert np.array_equal(result.message_bits, message)
+
+    def test_bit_mode_noiseless(self, bit_mode_encoder, rng):
+        message = random_message_bits(12, rng)
+        coded = bit_mode_encoder.encode_passes(message, n_passes=16)
+        observations = ReceivedObservations(4)
+        for pass_index in range(coded.shape[0]):
+            for position in range(4):
+                observations.add(position, pass_index, int(coded[pass_index, position]))
+        result = BubbleDecoder(bit_mode_encoder, beam_width=8).decode(12, observations)
+        assert np.array_equal(result.message_bits, message)
+
+    def test_many_random_messages(self, small_encoder, make_observations, rng):
+        decoder = BubbleDecoder(small_encoder, beam_width=4)
+        for _ in range(10):
+            message = random_message_bits(16, rng)
+            observations = make_observations(small_encoder, message, n_passes=1)
+            assert np.array_equal(decoder.decode(16, observations).message_bits, message)
+
+
+class TestBubbleDecoderNoisy:
+    def test_recovers_at_moderate_noise(self, small_encoder, rng):
+        message = random_message_bits(16, rng)
+        # 3 passes of a k=4, c=6 code at sigma=0.1 (SNR ~ 17 dB) is easy.
+        observations = noisy_observations(small_encoder, message, 3, 0.1, rng)
+        result = BubbleDecoder(small_encoder, beam_width=16).decode(16, observations)
+        assert np.array_equal(result.message_bits, message)
+
+    def test_wider_beam_never_worse_cost(self, small_encoder, rng):
+        """The minimum path cost found is non-increasing in the beam width."""
+        message = random_message_bits(16, rng)
+        observations = noisy_observations(small_encoder, message, 2, 0.4, rng)
+        costs = []
+        for beam_width in (1, 4, 16, 64):
+            result = BubbleDecoder(small_encoder, beam_width=beam_width).decode(16, observations)
+            costs.append(result.path_cost)
+        assert all(costs[i + 1] <= costs[i] + 1e-12 for i in range(len(costs) - 1))
+
+    def test_result_metadata(self, small_encoder, make_observations, rng):
+        message = random_message_bits(16, rng)
+        observations = make_observations(small_encoder, message, n_passes=1)
+        result = BubbleDecoder(small_encoder, beam_width=4).decode(16, observations)
+        assert result.n_bits == 16
+        assert len(result.beam_trace) == 4
+        assert result.candidates_explored >= 4 * 16  # at least 2^k per level
+
+
+class TestBubbleDecoderValidation:
+    def test_rejects_bad_beam_width(self, small_encoder):
+        with pytest.raises(ValueError):
+            BubbleDecoder(small_encoder, beam_width=0)
+
+    def test_rejects_unpruned_cap_below_beam(self, small_encoder):
+        with pytest.raises(ValueError):
+            BubbleDecoder(small_encoder, beam_width=16, max_unpruned_width=4)
+
+    def test_rejects_mismatched_observations(self, small_encoder, make_observations, rng):
+        message = random_message_bits(16, rng)
+        observations = make_observations(small_encoder, message, n_passes=1)
+        decoder = BubbleDecoder(small_encoder, beam_width=4)
+        with pytest.raises(ValueError):
+            decoder.decode(20, observations)  # 5 segments vs 4 in observations
+
+    def test_rejects_indivisible_message_length(self, small_encoder, make_observations, rng):
+        message = random_message_bits(16, rng)
+        observations = make_observations(small_encoder, message, n_passes=1)
+        with pytest.raises(ValueError):
+            BubbleDecoder(small_encoder, beam_width=4).decode(15, observations)
+
+
+class TestUnprunedLevels:
+    def test_decodes_with_missing_early_observations(self, rng):
+        """Aggressive puncturing: no symbols at level 0, still decodable."""
+        params = SpinalParams(k=4, c=8, seed=3)
+        encoder = SpinalEncoder(params)
+        message = random_message_bits(8, rng)  # two segments
+        values = encoder.encode_passes(message, n_passes=3)
+        observations = ReceivedObservations(2)
+        # Only the *last* position ever gets symbols (3 of them, almost
+        # noiseless): the decoder must defer pruning at level 0.
+        for pass_index in range(3):
+            observations.add(1, pass_index, values[pass_index, 1])
+        result = BubbleDecoder(encoder, beam_width=2).decode(8, observations)
+        assert np.array_equal(result.message_bits, message)
+
+
+class TestMLDecoder:
+    def test_matches_bubble_with_wide_beam(self, small_encoder, rng):
+        message = random_message_bits(12, rng)
+        observations = noisy_observations(
+            SpinalEncoder(SpinalParams(k=4, c=6, seed=77)), message, 2, 0.5, rng
+        )
+        ml = MLDecoder(small_encoder).decode(12, observations)
+        wide = BubbleDecoder(small_encoder, beam_width=1 << 12).decode(12, observations)
+        assert np.array_equal(ml.message_bits, wide.message_bits)
+        assert ml.path_cost == pytest.approx(wide.path_cost, rel=1e-9)
+
+    def test_ml_cost_is_global_minimum(self, small_encoder, rng):
+        """No message has a smaller total cost than the ML estimate."""
+        message = random_message_bits(8, rng)
+        encoder = SpinalEncoder(SpinalParams(k=4, c=6, seed=77))
+        observations = noisy_observations(encoder, message, 1, 0.8, rng)
+        ml = MLDecoder(encoder).decode(8, observations)
+        for candidate_value in range(256):
+            bits = np.array([(candidate_value >> (7 - i)) & 1 for i in range(8)], dtype=np.uint8)
+            assert encoder.total_cost(bits, observations) >= ml.path_cost - 1e-9
+
+    def test_noiseless_recovery(self, small_encoder, make_observations, rng):
+        message = random_message_bits(12, rng)
+        observations = make_observations(small_encoder, message, n_passes=1)
+        result = MLDecoder(small_encoder).decode(12, observations)
+        assert np.array_equal(result.message_bits, message)
+
+    def test_refuses_huge_messages(self, small_encoder, make_observations, rng):
+        message = random_message_bits(16, rng)
+        observations = make_observations(small_encoder, message, n_passes=1)
+        decoder = MLDecoder(small_encoder, max_message_bits=8)
+        with pytest.raises(ValueError):
+            decoder.decode(16, observations)
+
+    def test_rejects_mismatched_observations(self, small_encoder, make_observations, rng):
+        message = random_message_bits(16, rng)
+        observations = make_observations(small_encoder, message, n_passes=1)
+        with pytest.raises(ValueError):
+            MLDecoder(small_encoder).decode(12, observations)
+
+    def test_bit_mode_ml(self, bit_mode_encoder, rng):
+        message = random_message_bits(9, rng)
+        coded = bit_mode_encoder.encode_passes(message, n_passes=12)
+        observations = ReceivedObservations(3)
+        for pass_index in range(12):
+            for position in range(3):
+                observations.add(position, pass_index, int(coded[pass_index, position]))
+        result = MLDecoder(bit_mode_encoder).decode(9, observations)
+        assert np.array_equal(result.message_bits, message)

@@ -1,0 +1,119 @@
+"""Unit tests for the LT (fountain) code substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.channels.bec import BECChannel, ERASURE
+from repro.fountain import LTDecoder, LTEncoder, robust_soliton_distribution
+from repro.utils.bitops import random_message_bits
+
+
+class TestDegreeDistribution:
+    def test_sums_to_one(self):
+        for n_blocks in (1, 5, 32, 100):
+            p = robust_soliton_distribution(n_blocks)
+            assert p.sum() == pytest.approx(1.0)
+            assert np.all(p >= 0)
+
+    def test_degree_one_has_mass(self):
+        p = robust_soliton_distribution(50)
+        assert p[0] > 0.0
+
+    def test_degree_two_dominates_ideal_part(self):
+        # In the ideal soliton, degree 2 carries the largest probability.
+        p = robust_soliton_distribution(100, c=0.01)
+        assert p[1] == max(p[1:].max(), p[1])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            robust_soliton_distribution(0)
+        with pytest.raises(ValueError):
+            robust_soliton_distribution(10, delta=1.5)
+        with pytest.raises(ValueError):
+            robust_soliton_distribution(10, c=0.0)
+
+
+class TestEncoder:
+    def test_symbol_is_xor_of_neighbours(self, rng):
+        data = random_message_bits(64, rng)
+        encoder = LTEncoder(data, block_bits=8, seed=1)
+        symbol = encoder.symbol(5)
+        expected = np.zeros(8, dtype=np.uint8)
+        for block in symbol.neighbours:
+            expected ^= encoder.blocks[block]
+        assert np.array_equal(symbol.value, expected)
+
+    def test_symbols_deterministic_per_seed(self, rng):
+        data = random_message_bits(64, rng)
+        a = LTEncoder(data, block_bits=8, seed=3).symbol(7)
+        b = LTEncoder(data, block_bits=8, seed=3).symbol(7)
+        assert a.neighbours == b.neighbours
+        assert np.array_equal(a.value, b.value)
+
+    def test_stream_is_rateless(self, rng):
+        data = random_message_bits(32, rng)
+        encoder = LTEncoder(data, block_bits=8, seed=0)
+        stream = encoder.stream()
+        symbols = [next(stream) for _ in range(20)]
+        assert len({s.seed for s in symbols}) == 20
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            LTEncoder(np.array([], dtype=np.uint8), block_bits=8)
+        with pytest.raises(ValueError):
+            LTEncoder(random_message_bits(10, rng), block_bits=8)
+        with pytest.raises(ValueError):
+            LTEncoder(random_message_bits(16, rng), block_bits=0)
+
+
+class TestDecoder:
+    def test_roundtrip_without_erasures(self, rng):
+        data = random_message_bits(128, rng)
+        encoder = LTEncoder(data, block_bits=8, seed=11)
+        decoder = LTDecoder(n_blocks=encoder.n_blocks, block_bits=8)
+        stream = encoder.stream()
+        while not decoder.is_complete:
+            decoder.add_symbol(next(stream))
+        assert np.array_equal(decoder.data_bits(), data)
+        # Overhead of LT codes is small: a few extra symbols beyond n_blocks.
+        assert decoder.symbols_consumed <= 4 * encoder.n_blocks
+
+    def test_roundtrip_over_bec(self, rng):
+        data = random_message_bits(96, rng)
+        encoder = LTEncoder(data, block_bits=8, seed=13)
+        decoder = LTDecoder(n_blocks=encoder.n_blocks, block_bits=8)
+        channel = BECChannel(0.3)
+        stream = encoder.stream()
+        sent = 0
+        while not decoder.is_complete and sent < 500:
+            symbol = next(stream)
+            sent += 1
+            received = channel.transmit(symbol.value, rng)
+            if np.any(received == ERASURE):
+                # Model whole-symbol (packet) erasure: drop the symbol.
+                continue
+            decoder.add_symbol(symbol)
+        assert decoder.is_complete
+        assert np.array_equal(decoder.data_bits(), data)
+
+    def test_incomplete_decode_raises(self, rng):
+        data = random_message_bits(64, rng)
+        encoder = LTEncoder(data, block_bits=8, seed=17)
+        decoder = LTDecoder(n_blocks=encoder.n_blocks, block_bits=8)
+        decoder.add_symbol(encoder.symbol(0))
+        if not decoder.is_complete:
+            with pytest.raises(ValueError):
+                decoder.data_bits()
+
+    def test_rejects_wrong_symbol_size(self, rng):
+        decoder = LTDecoder(n_blocks=4, block_bits=8)
+        from repro.fountain.lt import LTSymbol
+
+        with pytest.raises(ValueError):
+            decoder.add_symbol(LTSymbol(seed=0, neighbours=(0,), value=np.zeros(4, dtype=np.uint8)))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LTDecoder(n_blocks=0, block_bits=8)

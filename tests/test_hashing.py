@@ -1,0 +1,157 @@
+"""Unit and statistical tests for the hash-function family (repro.core.hashing).
+
+The paper's construction assumes the hash family behaves like a uniform,
+pairwise-independent random mapping (equations (1)-(2)); the statistical
+tests here check those assumptions empirically at a coarse but meaningful
+level (uniform output distribution, independence across salts, avalanche).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.hashing import SaltedHashFamily, avalanche_score, splitmix64
+
+
+@pytest.fixture
+def family() -> SaltedHashFamily:
+    return SaltedHashFamily(seed=123, k=8)
+
+
+class TestConstruction:
+    def test_rejects_bad_k(self):
+        with pytest.raises(ValueError):
+            SaltedHashFamily(seed=1, k=0)
+        with pytest.raises(ValueError):
+            SaltedHashFamily(seed=1, k=40)
+
+    def test_rejects_oversized_seed(self):
+        with pytest.raises(ValueError):
+            SaltedHashFamily(seed=2**64, k=4)
+
+    def test_initial_state_is_zero(self, family):
+        assert int(family.initial_state) == 0
+
+
+class TestSplitmix:
+    def test_scalar_returns_int(self):
+        assert isinstance(splitmix64(1), int)
+
+    def test_array_returns_array(self):
+        out = splitmix64(np.arange(4, dtype=np.uint64))
+        assert isinstance(out, np.ndarray) and out.dtype == np.uint64
+
+    def test_distinct_inputs_distinct_outputs(self):
+        outputs = splitmix64(np.arange(1000, dtype=np.uint64))
+        assert len(np.unique(outputs)) == 1000
+
+
+class TestHashSpine:
+    def test_deterministic(self, family):
+        assert family.hash_spine_scalar(5, 17) == family.hash_spine_scalar(5, 17)
+
+    def test_depends_on_state(self, family):
+        assert family.hash_spine_scalar(5, 17) != family.hash_spine_scalar(6, 17)
+
+    def test_depends_on_segment(self, family):
+        assert family.hash_spine_scalar(5, 17) != family.hash_spine_scalar(5, 18)
+
+    def test_depends_on_seed(self):
+        a = SaltedHashFamily(seed=1, k=8).hash_spine_scalar(5, 17)
+        b = SaltedHashFamily(seed=2, k=8).hash_spine_scalar(5, 17)
+        assert a != b
+
+    def test_broadcasting_matches_scalar(self, family):
+        states = np.array([1, 2, 3], dtype=np.uint64)
+        segments = np.array([10, 20], dtype=np.uint64)
+        grid = family.hash_spine(states[:, None], segments[None, :])
+        assert grid.shape == (3, 2)
+        for i, s in enumerate(states):
+            for j, m in enumerate(segments):
+                assert int(grid[i, j]) == family.hash_spine_scalar(int(s), int(m))
+
+    def test_rejects_segment_exceeding_k_bits(self, family):
+        with pytest.raises(ValueError):
+            family.hash_spine(np.uint64(1), np.uint64(256))
+
+    def test_no_collisions_over_all_segments(self, family):
+        """All 2^k children of one node must be distinct spine values."""
+        children = family.hash_spine(np.uint64(42), np.arange(256, dtype=np.uint64))
+        assert len(np.unique(children)) == 256
+
+    def test_output_uniformity(self, family, rng):
+        """Equation (1): hashed outputs should be uniform over the 64-bit range.
+
+        Checked coarsely with a chi-square-style bound on 16 equal bins.
+        """
+        states = rng.integers(0, 2**63, size=8000, dtype=np.uint64)
+        segments = rng.integers(0, 256, size=8000, dtype=np.uint64)
+        outputs = family.hash_spine(states, segments)
+        bins = (outputs >> np.uint64(60)).astype(np.int64)  # top 4 bits -> 16 bins
+        counts = np.bincount(bins, minlength=16)
+        expected = 8000 / 16
+        chi_square = float(((counts - expected) ** 2 / expected).sum())
+        # 15 degrees of freedom; 99.9th percentile is ~37.7.
+        assert chi_square < 45.0
+
+    def test_bit_balance(self, family, rng):
+        """Every output bit should be set roughly half the time."""
+        states = rng.integers(0, 2**63, size=4000, dtype=np.uint64)
+        segments = rng.integers(0, 256, size=4000, dtype=np.uint64)
+        outputs = family.hash_spine(states, segments)
+        for bit in range(0, 64, 8):
+            fraction = float(((outputs >> np.uint64(bit)) & np.uint64(1)).mean())
+            assert 0.45 < fraction < 0.55
+
+
+class TestSymbolWord:
+    def test_different_passes_differ(self, family):
+        a = family.symbol_word(np.uint64(99), 0)
+        b = family.symbol_word(np.uint64(99), 1)
+        assert int(a) != int(b)
+
+    def test_rejects_negative_pass(self, family):
+        with pytest.raises(ValueError):
+            family.symbol_word(np.uint64(1), -1)
+
+    def test_symbol_value_bit_width(self, family):
+        values = family.symbol_value(np.arange(100, dtype=np.uint64), 0, 12)
+        assert int(values.max()) < (1 << 12)
+
+    def test_symbol_value_rejects_bad_width(self, family):
+        with pytest.raises(ValueError):
+            family.symbol_value(np.uint64(1), 0, 0)
+        with pytest.raises(ValueError):
+            family.symbol_value(np.uint64(1), 0, 65)
+
+    def test_symbol_value_top_bits_of_word(self, family):
+        word = family.symbol_word(np.uint64(7), 3)
+        value = family.symbol_value(np.uint64(7), 3, 10)
+        assert int(value) == int(word) >> 54
+
+    def test_independence_across_passes(self, family, rng):
+        """Equation (2): words salted with different passes look independent."""
+        states = rng.integers(0, 2**63, size=4000, dtype=np.uint64)
+        bits_a = (family.symbol_word(states, 0) >> np.uint64(63)).astype(np.int64)
+        bits_b = (family.symbol_word(states, 1) >> np.uint64(63)).astype(np.int64)
+        correlation = abs(np.corrcoef(bits_a, bits_b)[0, 1])
+        assert correlation < 0.06
+
+    def test_pass_array_broadcast(self, family):
+        states = np.array([1, 2], dtype=np.uint64)
+        passes = np.array([0, 1, 2], dtype=np.int64)
+        grid = family.symbol_word(states[:, None], passes[None, :])
+        assert grid.shape == (2, 3)
+        assert int(grid[1, 2]) == int(family.symbol_word(np.uint64(2), 2))
+
+
+class TestAvalanche:
+    def test_avalanche_near_half(self, family, rng):
+        """Section 4: one flipped message bit must scramble the output."""
+        score = avalanche_score(family, 2000, rng)
+        assert 0.45 < score < 0.55
+
+    def test_avalanche_rejects_bad_sample_count(self, family, rng):
+        with pytest.raises(ValueError):
+            avalanche_score(family, 0, rng)

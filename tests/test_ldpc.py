@@ -1,0 +1,257 @@
+"""Unit tests for the LDPC substrate: matrices, construction, encoder, decoder."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+
+from repro.ldpc import (
+    BeliefPropagationDecoder,
+    LDPCCode,
+    QCMatrix,
+    gf2_inverse,
+    gf2_matmul_vec,
+    gf2_rank,
+    make_wifi_like_code,
+)
+from repro.ldpc.construction import WIFI_LIKE_RATES, build_base_matrix
+from repro.ldpc.matrices import expand_base_matrix, gf2_solve, has_four_cycle
+from repro.modulation import BPSK, QAM16
+
+
+# Module-scoped codes so the (moderately expensive) construction runs once.
+@pytest.fixture(scope="module")
+def rate_half_code() -> LDPCCode:
+    return make_wifi_like_code(Fraction(1, 2))
+
+
+@pytest.fixture(scope="module")
+def rate_56_code() -> LDPCCode:
+    return make_wifi_like_code(Fraction(5, 6))
+
+
+class TestGF2:
+    def test_rank_of_identity(self):
+        assert gf2_rank(np.eye(5, dtype=np.uint8)) == 5
+
+    def test_rank_of_singular(self):
+        matrix = np.array([[1, 1], [1, 1]], dtype=np.uint8)
+        assert gf2_rank(matrix) == 1
+
+    def test_inverse_roundtrip(self, rng):
+        for _ in range(5):
+            size = 12
+            while True:
+                matrix = rng.integers(0, 2, size=(size, size), dtype=np.uint8)
+                if gf2_rank(matrix) == size:
+                    break
+            inverse = gf2_inverse(matrix)
+            product = (matrix.astype(int) @ inverse.astype(int)) % 2
+            assert np.array_equal(product, np.eye(size, dtype=int))
+
+    def test_inverse_rejects_singular(self):
+        with pytest.raises(ValueError):
+            gf2_inverse(np.zeros((3, 3), dtype=np.uint8))
+
+    def test_inverse_rejects_non_square(self):
+        with pytest.raises(ValueError):
+            gf2_inverse(np.zeros((2, 3), dtype=np.uint8))
+
+    def test_solve(self, rng):
+        matrix = np.array([[1, 1, 0], [0, 1, 1], [1, 0, 0]], dtype=np.uint8)
+        x = np.array([1, 0, 1], dtype=np.uint8)
+        b = gf2_matmul_vec(matrix, x)
+        assert np.array_equal(gf2_solve(matrix, b), x)
+
+
+class TestQCMatrix:
+    def test_expansion_shape(self):
+        base = np.array([[0, 1, -1], [-1, 2, 0]])
+        qc_matrix = QCMatrix(base=base, lifting=4)
+        assert qc_matrix.shape == (8, 12)
+        expanded = qc_matrix.expand()
+        assert expanded.shape == (8, 12)
+
+    def test_expansion_is_circulant(self):
+        base = np.array([[2]])
+        expanded = expand_base_matrix(base, 4).toarray()
+        # Row 0 has its 1 at column (0 + 2) % 4 = 2.
+        assert expanded[0].tolist() == [0, 0, 1, 0]
+        assert expanded[3].tolist() == [0, 1, 0, 0]
+
+    def test_weights(self):
+        base = np.array([[0, -1], [1, 3]])
+        qc_matrix = QCMatrix(base=base, lifting=5)
+        assert qc_matrix.column_weights().tolist() == [2, 1]
+        assert qc_matrix.row_weights().tolist() == [1, 2]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            QCMatrix(base=np.array([[5]]), lifting=4)  # shift >= lifting
+        with pytest.raises(ValueError):
+            QCMatrix(base=np.array([[-2]]), lifting=4)
+        with pytest.raises(ValueError):
+            QCMatrix(base=np.array([[0]]), lifting=0)
+
+    def test_four_cycle_detection(self):
+        # Two columns sharing two rows with equal shift differences -> cycle.
+        cyclic = np.array([[0, 0], [0, 0]])
+        acyclic = np.array([[0, 0], [0, 1]])
+        assert has_four_cycle(cyclic, 4)
+        assert not has_four_cycle(acyclic, 4)
+
+
+class TestConstruction:
+    @pytest.mark.parametrize("rate", WIFI_LIKE_RATES, ids=str)
+    def test_all_rates_build(self, rate):
+        qc_matrix = build_base_matrix(rate)
+        n_parity, n_cols = qc_matrix.block_shape
+        assert n_cols == 24
+        assert n_parity == int(round(24 * (1 - rate)))
+        assert not has_four_cycle(qc_matrix.base, qc_matrix.lifting)
+
+    def test_deterministic_given_seed(self):
+        a = build_base_matrix(Fraction(1, 2), seed=9)
+        b = build_base_matrix(Fraction(1, 2), seed=9)
+        assert np.array_equal(a.base, b.base)
+
+    def test_different_seeds_differ(self):
+        a = build_base_matrix(Fraction(1, 2), seed=1)
+        b = build_base_matrix(Fraction(1, 2), seed=2)
+        assert not np.array_equal(a.base, b.base)
+
+    def test_rejects_unknown_rate(self):
+        with pytest.raises(ValueError):
+            make_wifi_like_code(0.4)
+
+    def test_rejects_bad_codeword_length(self):
+        with pytest.raises(ValueError):
+            make_wifi_like_code(Fraction(1, 2), codeword_bits=650)
+
+    def test_code_dimensions(self, rate_half_code, rate_56_code):
+        assert rate_half_code.n == 648 and rate_half_code.k == 324
+        assert rate_56_code.n == 648 and rate_56_code.k == 540
+
+
+class TestLDPCEncoding:
+    def test_encode_produces_valid_codeword(self, rate_half_code, rng):
+        message = rng.integers(0, 2, size=rate_half_code.k, dtype=np.uint8)
+        codeword = rate_half_code.encode(message)
+        assert codeword.size == rate_half_code.n
+        assert rate_half_code.is_codeword(codeword)
+
+    def test_systematic(self, rate_half_code, rng):
+        message = rng.integers(0, 2, size=rate_half_code.k, dtype=np.uint8)
+        codeword = rate_half_code.encode(message)
+        assert np.array_equal(rate_half_code.extract_message(codeword), message)
+
+    def test_encode_batch_matches_single(self, rate_half_code, rng):
+        messages = rng.integers(0, 2, size=(4, rate_half_code.k), dtype=np.uint8)
+        batch = rate_half_code.encode_batch(messages)
+        for row, message in zip(batch, messages):
+            assert np.array_equal(row, rate_half_code.encode(message))
+
+    def test_linearity(self, rate_half_code, rng):
+        """The code is linear: the XOR of two codewords is a codeword."""
+        a = rng.integers(0, 2, size=rate_half_code.k, dtype=np.uint8)
+        b = rng.integers(0, 2, size=rate_half_code.k, dtype=np.uint8)
+        xor = rate_half_code.encode(a) ^ rate_half_code.encode(b)
+        assert rate_half_code.is_codeword(xor)
+
+    def test_all_zero_is_codeword(self, rate_half_code):
+        assert rate_half_code.is_codeword(np.zeros(rate_half_code.n, dtype=np.uint8))
+
+    def test_wrong_length_rejected(self, rate_half_code):
+        with pytest.raises(ValueError):
+            rate_half_code.encode(np.zeros(10, dtype=np.uint8))
+        with pytest.raises(ValueError):
+            rate_half_code.syndrome(np.zeros(10, dtype=np.uint8))
+
+    def test_rate_property(self, rate_half_code, rate_56_code):
+        assert rate_half_code.rate == pytest.approx(0.5)
+        assert rate_56_code.rate == pytest.approx(5 / 6)
+
+
+def _bpsk_llrs(code, codewords, noise_energy, rng):
+    """Transmit codewords over BPSK/AWGN and return channel LLRs."""
+    modulation = BPSK()
+    llrs = np.empty((codewords.shape[0], code.n))
+    for i, codeword in enumerate(codewords):
+        symbols = modulation.modulate(codeword)
+        noise = np.sqrt(noise_energy / 2) * (
+            rng.standard_normal(symbols.size) + 1j * rng.standard_normal(symbols.size)
+        )
+        llrs[i] = modulation.demodulate_llr(symbols + noise, noise_energy)
+    return llrs
+
+
+class TestBeliefPropagation:
+    @pytest.mark.parametrize("algorithm", ["sum-product", "min-sum"])
+    def test_decodes_clean_llrs(self, rate_half_code, algorithm, rng):
+        decoder = BeliefPropagationDecoder(rate_half_code, max_iterations=5, algorithm=algorithm)
+        message = rng.integers(0, 2, size=rate_half_code.k, dtype=np.uint8)
+        codeword = rate_half_code.encode(message)
+        llrs = np.where(codeword == 0, 10.0, -10.0)
+        decoded, stats = decoder.decode(llrs)
+        assert np.array_equal(decoded, codeword)
+        assert stats.converged.all()
+        assert stats.mean_iterations <= 2
+
+    @pytest.mark.parametrize("algorithm", ["sum-product", "min-sum"])
+    def test_corrects_noisy_frames_good_snr(self, rate_half_code, algorithm, rng):
+        decoder = BeliefPropagationDecoder(rate_half_code, max_iterations=40, algorithm=algorithm)
+        messages = rng.integers(0, 2, size=(8, rate_half_code.k), dtype=np.uint8)
+        codewords = rate_half_code.encode_batch(messages)
+        llrs = _bpsk_llrs(rate_half_code, codewords, noise_energy=1.0 / 10**0.25, rng=rng)  # ~2.5 dB
+        decoded, stats = decoder.decode(llrs)
+        assert stats.convergence_fraction >= 0.9
+        errors = sum(
+            not np.array_equal(decoded[i, : rate_half_code.k], messages[i]) for i in range(8)
+        )
+        assert errors <= 1
+
+    def test_fails_at_terrible_snr(self, rate_half_code, rng):
+        decoder = BeliefPropagationDecoder(rate_half_code, max_iterations=10)
+        messages = rng.integers(0, 2, size=(4, rate_half_code.k), dtype=np.uint8)
+        codewords = rate_half_code.encode_batch(messages)
+        llrs = _bpsk_llrs(rate_half_code, codewords, noise_energy=10.0, rng=rng)  # -10 dB
+        decoded, stats = decoder.decode(llrs)
+        assert stats.convergence_fraction < 0.5
+
+    def test_single_codeword_interface(self, rate_half_code, rng):
+        decoder = BeliefPropagationDecoder(rate_half_code, max_iterations=5)
+        codeword = rate_half_code.encode(
+            rng.integers(0, 2, size=rate_half_code.k, dtype=np.uint8)
+        )
+        llrs = np.where(codeword == 0, 6.0, -6.0)
+        decoded, stats = decoder.decode(llrs)
+        assert decoded.shape == (rate_half_code.n,)
+        assert stats.iterations_used.shape == (1,)
+
+    def test_rejects_wrong_llr_length(self, rate_half_code):
+        decoder = BeliefPropagationDecoder(rate_half_code)
+        with pytest.raises(ValueError):
+            decoder.decode(np.zeros(100))
+
+    def test_validation(self, rate_half_code):
+        with pytest.raises(ValueError):
+            BeliefPropagationDecoder(rate_half_code, max_iterations=0)
+        with pytest.raises(ValueError):
+            BeliefPropagationDecoder(rate_half_code, algorithm="turbo")
+
+    def test_min_sum_and_sum_product_agree_at_high_snr(self, rate_56_code, rng):
+        message = rng.integers(0, 2, size=rate_56_code.k, dtype=np.uint8)
+        codeword = rate_56_code.encode(message)
+        modulation = QAM16()
+        noise_energy = 10 ** (-20 / 10)
+        symbols = modulation.modulate(codeword)
+        noise = np.sqrt(noise_energy / 2) * (
+            rng.standard_normal(symbols.size) + 1j * rng.standard_normal(symbols.size)
+        )
+        llrs = modulation.demodulate_llr(symbols + noise, noise_energy)
+        for algorithm in ("sum-product", "min-sum"):
+            decoder = BeliefPropagationDecoder(rate_56_code, algorithm=algorithm)
+            decoded, _ = decoder.decode(llrs)
+            assert np.array_equal(decoded, codeword)

@@ -1,0 +1,87 @@
+"""Unit tests for feedback models and link-session accounting."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.link import (
+    BlockFeedback,
+    DelayedFeedback,
+    PerfectFeedback,
+    simulate_link_session,
+)
+
+
+class TestPerfectFeedback:
+    def test_identity(self):
+        assert PerfectFeedback().symbols_spent(17) == 17.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            PerfectFeedback().symbols_spent(-1)
+
+
+class TestDelayedFeedback:
+    def test_adds_delay(self):
+        assert DelayedFeedback(delay_symbols=5).symbols_spent(10) == 15.0
+
+    def test_zero_delay_is_perfect(self):
+        assert DelayedFeedback(delay_symbols=0).symbols_spent(7) == 7.0
+
+    def test_rejects_negative_delay(self):
+        with pytest.raises(ValueError):
+            DelayedFeedback(delay_symbols=-1)
+
+    def test_describe(self):
+        assert "4" in DelayedFeedback(delay_symbols=4).describe()
+
+
+class TestBlockFeedback:
+    def test_rounds_up_to_block(self):
+        model = BlockFeedback(block_symbols=8)
+        assert model.symbols_spent(1) == 8.0
+        assert model.symbols_spent(8) == 8.0
+        assert model.symbols_spent(9) == 16.0
+
+    def test_overhead_per_block(self):
+        model = BlockFeedback(block_symbols=10, overhead_symbols=2)
+        assert model.symbols_spent(25) == 3 * 12.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BlockFeedback(block_symbols=0)
+        with pytest.raises(ValueError):
+            BlockFeedback(block_symbols=4, overhead_symbols=-1.0)
+        with pytest.raises(ValueError):
+            BlockFeedback(block_symbols=4).symbols_spent(-2)
+
+
+class TestLinkSession:
+    def test_perfect_feedback_efficiency_is_one(self):
+        result = simulate_link_session([10, 20, 30], 24, PerfectFeedback())
+        assert result.feedback_efficiency == pytest.approx(1.0)
+        assert result.throughput_bits_per_symbol == pytest.approx(72 / 60)
+
+    def test_delayed_feedback_reduces_throughput(self):
+        perfect = simulate_link_session([10, 20], 24, PerfectFeedback())
+        delayed = simulate_link_session([10, 20], 24, DelayedFeedback(delay_symbols=10))
+        assert delayed.throughput_bits_per_symbol < perfect.throughput_bits_per_symbol
+        assert delayed.feedback_efficiency < 1.0
+
+    def test_block_feedback_latency_proxy(self):
+        result = simulate_link_session([5, 6], 24, BlockFeedback(block_symbols=8, overhead_symbols=1))
+        assert result.mean_packet_symbols == pytest.approx(9.0)
+
+    def test_total_payload(self):
+        result = simulate_link_session([4, 4, 4], 16, PerfectFeedback())
+        assert result.total_payload_bits == 48
+        assert result.n_packets == 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            simulate_link_session([], 24, PerfectFeedback())
+        with pytest.raises(ValueError):
+            simulate_link_session([0], 24, PerfectFeedback())
+        with pytest.raises(ValueError):
+            simulate_link_session([4], 0, PerfectFeedback())

@@ -1,0 +1,147 @@
+"""Unit tests for modulations and soft demappers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.modulation import (
+    BPSK,
+    QAM,
+    QAM16,
+    QAM64,
+    QPSK,
+    awgn_bit_llrs,
+    hard_decisions_from_llrs,
+    make_modulation,
+)
+
+ALL_NAMES = ["BPSK", "QPSK", "QAM-4", "QAM-16", "QAM-64"]
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+class TestCommonModulationProperties:
+    def test_unit_average_energy(self, name):
+        assert make_modulation(name).average_energy == pytest.approx(1.0, rel=1e-9)
+
+    def test_constellation_size(self, name):
+        modulation = make_modulation(name)
+        assert modulation.constellation_points().size == 2**modulation.bits_per_symbol
+
+    def test_modulate_demodulate_hard_noiseless(self, name, rng):
+        modulation = make_modulation(name)
+        bits = rng.integers(0, 2, size=modulation.bits_per_symbol * 50, dtype=np.uint8)
+        symbols = modulation.modulate(bits)
+        assert np.array_equal(modulation.demodulate_hard(symbols), bits)
+
+    def test_llr_signs_match_bits_noiseless(self, name, rng):
+        modulation = make_modulation(name)
+        bits = rng.integers(0, 2, size=modulation.bits_per_symbol * 20, dtype=np.uint8)
+        symbols = modulation.modulate(bits)
+        llrs = modulation.demodulate_llr(symbols, noise_energy=0.01)
+        assert np.array_equal(hard_decisions_from_llrs(llrs), bits)
+
+    def test_modulate_rejects_bad_length(self, name):
+        modulation = make_modulation(name)
+        if modulation.bits_per_symbol == 1:
+            pytest.skip("every length is a multiple of 1 bit per symbol")
+        with pytest.raises(ValueError):
+            modulation.modulate(np.ones(modulation.bits_per_symbol + 1, dtype=np.uint8))
+
+    def test_bit_labels_shape(self, name):
+        modulation = make_modulation(name)
+        labels = modulation.bit_labels()
+        assert labels.shape == (2**modulation.bits_per_symbol, modulation.bits_per_symbol)
+
+
+class TestBPSK:
+    def test_mapping(self):
+        symbols = BPSK().modulate(np.array([0, 1], dtype=np.uint8))
+        assert symbols[0] == pytest.approx(1.0)
+        assert symbols[1] == pytest.approx(-1.0)
+
+    def test_llr_matches_closed_form(self, rng):
+        """For BPSK, the exact LLR is 4*Re(y)/N0."""
+        modulation = BPSK()
+        noise_energy = 0.5
+        received = rng.standard_normal(200) + 1j * rng.standard_normal(200)
+        llrs = modulation.demodulate_llr(received, noise_energy)
+        expected = 4.0 * received.real / noise_energy
+        assert np.allclose(llrs, expected, rtol=1e-9)
+
+
+class TestQPSK:
+    def test_equivalent_to_qam4_rates(self):
+        assert QPSK().bits_per_symbol == 2
+        assert QAM(2).bits_per_symbol == 2
+
+    def test_gray_property(self):
+        """Adjacent constellation points differ in exactly one bit (Gray mapping)."""
+        modulation = QAM16()
+        points = modulation.constellation_points()
+        labels = modulation.bit_labels()
+        min_distance = np.min(
+            np.abs(points[:, None] - points[None, :])
+            + np.eye(points.size) * 10
+        )
+        for i in range(points.size):
+            for j in range(points.size):
+                if i < j and abs(points[i] - points[j]) < min_distance * 1.01:
+                    assert int(np.sum(labels[i] != labels[j])) == 1
+
+
+class TestQAMFamilies:
+    def test_qam64_levels(self):
+        points = QAM64().constellation_points()
+        assert len(np.unique(np.round(points.real, 9))) == 8
+
+    def test_qam_rejects_odd_bits(self):
+        with pytest.raises(ValueError):
+            QAM(3)
+
+    def test_make_modulation_unknown(self):
+        with pytest.raises(ValueError):
+            make_modulation("QAM-1024")
+
+
+class TestDemapper:
+    def test_max_log_close_to_exact_at_high_snr(self, rng):
+        modulation = QAM16()
+        bits = rng.integers(0, 2, size=4 * 100, dtype=np.uint8)
+        symbols = modulation.modulate(bits)
+        noise_energy = 0.01
+        exact = modulation.demodulate_llr(symbols, noise_energy)
+        approx = modulation.demodulate_llr(symbols, noise_energy, max_log=True)
+        assert np.array_equal(np.sign(exact), np.sign(approx))
+
+    def test_llr_magnitude_shrinks_with_noise(self, rng):
+        modulation = QPSK()
+        bits = rng.integers(0, 2, size=200, dtype=np.uint8)
+        symbols = modulation.modulate(bits)
+        strong = modulation.demodulate_llr(symbols, noise_energy=0.01)
+        weak = modulation.demodulate_llr(symbols, noise_energy=1.0)
+        assert np.mean(np.abs(strong)) > np.mean(np.abs(weak))
+
+    def test_rejects_bad_noise_energy(self):
+        with pytest.raises(ValueError):
+            awgn_bit_llrs(np.zeros(2), BPSK().constellation_points(), BPSK().bit_labels(), 0.0)
+
+    def test_rejects_mismatched_labels(self):
+        with pytest.raises(ValueError):
+            awgn_bit_llrs(
+                np.zeros(2), BPSK().constellation_points(), QPSK().bit_labels(), 1.0
+            )
+
+    def test_ber_improves_with_snr(self, rng):
+        """Monte-Carlo BER of QAM-16 decreases as the SNR grows."""
+        modulation = QAM16()
+        bits = rng.integers(0, 2, size=4 * 2000, dtype=np.uint8)
+        symbols = modulation.modulate(bits)
+        bers = []
+        for noise_energy in (0.5, 0.05):
+            noise = np.sqrt(noise_energy / 2) * (
+                rng.standard_normal(symbols.size) + 1j * rng.standard_normal(symbols.size)
+            )
+            llrs = modulation.demodulate_llr(symbols + noise, noise_energy)
+            bers.append(np.mean(hard_decisions_from_llrs(llrs) != bits))
+        assert bers[1] < bers[0]

@@ -1,0 +1,108 @@
+"""Unit tests for puncturing schedules."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.puncturing import (
+    NoPuncturing,
+    StridedPuncturing,
+    SymbolBySymbol,
+    TailFirstPuncturing,
+    _bit_reversed_order,
+)
+
+ALL_SCHEDULES = [
+    NoPuncturing(),
+    SymbolBySymbol(),
+    StridedPuncturing(stride=4),
+    StridedPuncturing(stride=8, always_include_last=False),
+    TailFirstPuncturing(),
+]
+
+
+@pytest.mark.parametrize("schedule", ALL_SCHEDULES, ids=lambda s: s.describe())
+class TestScheduleContract:
+    def test_positions_are_valid(self, schedule):
+        for subpass in range(20):
+            positions = schedule.subpass_positions(subpass, n_segments=7)
+            assert np.all(positions >= 0)
+            assert np.all(positions < 7)
+            assert len(np.unique(positions)) == positions.size
+
+    def test_rejects_negative_subpass(self, schedule):
+        with pytest.raises(ValueError):
+            schedule.subpass_positions(-1, 5)
+
+    def test_every_position_eventually_sent(self, schedule):
+        n_segments = 9
+        seen = set()
+        for subpass in range(4 * schedule.subpasses_per_cycle(n_segments)):
+            seen.update(schedule.subpass_positions(subpass, n_segments).tolist())
+        assert seen == set(range(n_segments))
+
+    def test_symbols_per_cycle_positive(self, schedule):
+        assert schedule.symbols_per_cycle(6) > 0
+
+    def test_describe_is_string(self, schedule):
+        assert isinstance(schedule.describe(), str)
+
+
+class TestNoPuncturing:
+    def test_each_subpass_is_a_full_pass(self):
+        schedule = NoPuncturing()
+        assert schedule.subpass_positions(0, 5).tolist() == [0, 1, 2, 3, 4]
+        assert schedule.subpass_positions(3, 5).tolist() == [0, 1, 2, 3, 4]
+        assert schedule.symbols_per_cycle(5) == 5
+
+
+class TestSymbolBySymbol:
+    def test_natural_order(self):
+        schedule = SymbolBySymbol()
+        order = [int(schedule.subpass_positions(j, 3)[0]) for j in range(6)]
+        assert order == [0, 1, 2, 0, 1, 2]
+
+
+class TestTailFirst:
+    def test_reverse_order(self):
+        schedule = TailFirstPuncturing()
+        order = [int(schedule.subpass_positions(j, 3)[0]) for j in range(6)]
+        assert order == [2, 1, 0, 2, 1, 0]
+
+    def test_cycle_covers_all_positions_once(self):
+        schedule = TailFirstPuncturing()
+        positions = []
+        for j in range(schedule.subpasses_per_cycle(5)):
+            positions.extend(schedule.subpass_positions(j, 5).tolist())
+        assert sorted(positions) == list(range(5))
+
+
+class TestStrided:
+    def test_last_position_in_every_subpass_when_requested(self):
+        schedule = StridedPuncturing(stride=8, always_include_last=True)
+        for subpass in range(8):
+            assert 15 in schedule.subpass_positions(subpass, 16).tolist()
+
+    def test_without_last_positions_partition_within_cycle(self):
+        schedule = StridedPuncturing(stride=4, always_include_last=False)
+        n_segments = 12
+        all_positions = []
+        for subpass in range(4):
+            all_positions.extend(schedule.subpass_positions(subpass, n_segments).tolist())
+        assert sorted(all_positions) == list(range(n_segments))
+
+    def test_rejects_small_stride(self):
+        with pytest.raises(ValueError):
+            StridedPuncturing(stride=1)
+
+
+class TestBitReversedOrder:
+    def test_power_of_two(self):
+        assert sorted(_bit_reversed_order(8)) == list(range(8))
+        assert _bit_reversed_order(8)[0] == 0
+        assert _bit_reversed_order(8)[1] == 4
+
+    def test_non_power_of_two(self):
+        order = _bit_reversed_order(6)
+        assert sorted(order) == list(range(6))

@@ -1,0 +1,115 @@
+"""Unit tests for the stack (best-first sequential) decoder."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.decoder_bubble import BubbleDecoder
+from repro.core.decoder_stack import StackDecoder
+from repro.core.encoder import ReceivedObservations, SpinalEncoder
+from repro.core.params import SpinalParams
+from repro.utils.bitops import random_message_bits
+
+
+def noisy_observations(encoder, message, n_passes, sigma, rng):
+    values = encoder.encode_passes(message, n_passes)
+    noise = sigma * (rng.standard_normal(values.shape) + 1j * rng.standard_normal(values.shape))
+    observations = ReceivedObservations(values.shape[1])
+    for pass_index in range(n_passes):
+        for position in range(values.shape[1]):
+            observations.add(
+                position, pass_index, values[pass_index, position] + noise[pass_index, position]
+            )
+    return observations
+
+
+class TestStackDecoderCorrectness:
+    def test_noiseless_recovery(self, small_encoder, make_observations, rng):
+        message = random_message_bits(16, rng)
+        observations = make_observations(small_encoder, message, n_passes=1)
+        result = StackDecoder(small_encoder).decode(16, observations)
+        assert np.array_equal(result.message_bits, message)
+
+    def test_noisy_recovery(self, small_encoder, rng):
+        message = random_message_bits(16, rng)
+        observations = noisy_observations(small_encoder, message, 3, 0.1, rng)
+        result = StackDecoder(small_encoder, max_expansions=4096).decode(16, observations)
+        assert np.array_equal(result.message_bits, message)
+
+    def test_bit_mode(self, bit_mode_encoder, rng):
+        message = random_message_bits(12, rng)
+        coded = bit_mode_encoder.encode_passes(message, n_passes=16)
+        observations = ReceivedObservations(4)
+        for pass_index in range(coded.shape[0]):
+            for position in range(4):
+                observations.add(position, pass_index, int(coded[pass_index, position]))
+        result = StackDecoder(bit_mode_encoder).decode(12, observations)
+        assert np.array_equal(result.message_bits, message)
+
+    def test_matches_wide_beam_on_easy_channel(self, small_encoder, rng):
+        for _ in range(5):
+            message = random_message_bits(16, rng)
+            observations = noisy_observations(small_encoder, message, 2, 0.15, rng)
+            stack = StackDecoder(small_encoder, max_expansions=8192).decode(16, observations)
+            beam = BubbleDecoder(small_encoder, beam_width=256).decode(16, observations)
+            assert np.array_equal(stack.message_bits, beam.message_bits)
+
+    def test_stats_recorded(self, small_encoder, make_observations, rng):
+        message = random_message_bits(16, rng)
+        observations = make_observations(small_encoder, message, n_passes=1)
+        decoder = StackDecoder(small_encoder)
+        decoder.decode(16, observations)
+        assert decoder.last_stats is not None
+        assert decoder.last_stats.nodes_expanded >= 4
+        assert decoder.last_stats.max_stack_size >= 1
+        assert not decoder.last_stats.budget_exhausted
+
+
+class TestStackDecoderWorkAdaptivity:
+    def test_clean_channel_expands_near_minimum(self, small_encoder, make_observations, rng):
+        """On a noiseless channel the search expands roughly one node per level."""
+        message = random_message_bits(16, rng)
+        observations = make_observations(small_encoder, message, n_passes=2)
+        decoder = StackDecoder(small_encoder, max_expansions=4096)
+        decoder.decode(16, observations)
+        assert decoder.last_stats.nodes_expanded <= 12  # 4 levels, small slack
+
+    def test_noisier_channel_expands_more(self, small_encoder, rng):
+        message = random_message_bits(16, rng)
+        clean = noisy_observations(small_encoder, message, 2, 0.02, rng)
+        noisy = noisy_observations(small_encoder, message, 2, 0.45, rng)
+        decoder = StackDecoder(small_encoder, max_expansions=8192)
+        decoder.decode(16, clean)
+        clean_work = decoder.last_stats.nodes_expanded
+        decoder.decode(16, noisy)
+        noisy_work = decoder.last_stats.nodes_expanded
+        assert noisy_work >= clean_work
+
+    def test_budget_exhaustion_still_returns_full_message(self, small_encoder, rng):
+        message = random_message_bits(16, rng)
+        observations = noisy_observations(small_encoder, message, 1, 1.5, rng)
+        decoder = StackDecoder(small_encoder, max_expansions=2)
+        result = decoder.decode(16, observations)
+        assert result.message_bits.size == 16
+        assert decoder.last_stats.budget_exhausted
+
+
+class TestStackDecoderValidation:
+    def test_rejects_bad_budget(self, small_encoder):
+        with pytest.raises(ValueError):
+            StackDecoder(small_encoder, max_expansions=0)
+
+    def test_rejects_bad_bias(self, small_encoder):
+        with pytest.raises(ValueError):
+            StackDecoder(small_encoder, bias_scale=0.0)
+
+    def test_rejects_mismatched_observations(self, small_encoder, make_observations, rng):
+        message = random_message_bits(16, rng)
+        observations = make_observations(small_encoder, message, n_passes=1)
+        with pytest.raises(ValueError):
+            StackDecoder(small_encoder).decode(20, observations)
+
+    def test_no_observations_bias_is_zero(self, small_encoder):
+        decoder = StackDecoder(small_encoder)
+        assert decoder._level_bias(ReceivedObservations(4)) == 0.0

@@ -1,0 +1,146 @@
+"""Unit tests for the information-theoretic reference curves."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.theory import (
+    awgn_capacity,
+    awgn_capacity_db,
+    awgn_dispersion,
+    binary_entropy,
+    bsc_capacity,
+    normal_approximation_rate,
+    ppv_fixed_block_bound_db,
+    shannon_limit_snr_db,
+    spinal_awgn_rate_bound,
+    spinal_bsc_rate_bound,
+    spinal_gap_constant,
+)
+from repro.theory.bounds import min_passes_awgn, min_passes_bsc
+from repro.theory.capacity import bec_capacity
+
+
+class TestAwgnCapacity:
+    def test_known_values(self):
+        assert awgn_capacity(1.0) == pytest.approx(1.0)
+        assert awgn_capacity(0.0) == 0.0
+        # Paper, Section 4: ~10 bits/s/Hz at 30 dB.
+        assert awgn_capacity_db(30.0) == pytest.approx(9.967, abs=0.01)
+
+    def test_monotone_in_snr(self):
+        values = [awgn_capacity_db(snr) for snr in range(-10, 41, 5)]
+        assert all(b > a for a, b in zip(values, values[1:]))
+
+    def test_rejects_negative_snr(self):
+        with pytest.raises(ValueError):
+            awgn_capacity(-0.1)
+
+    def test_shannon_limit_is_inverse(self):
+        for rate in (0.5, 2.0, 6.0):
+            assert awgn_capacity_db(shannon_limit_snr_db(rate)) == pytest.approx(rate)
+
+    def test_shannon_limit_rejects_bad_rate(self):
+        with pytest.raises(ValueError):
+            shannon_limit_snr_db(0.0)
+
+
+class TestBinaryChannels:
+    def test_entropy_extremes(self):
+        assert binary_entropy(0.0) == 0.0
+        assert binary_entropy(1.0) == 0.0
+        assert binary_entropy(0.5) == pytest.approx(1.0)
+
+    def test_entropy_symmetry(self):
+        assert binary_entropy(0.1) == pytest.approx(binary_entropy(0.9))
+
+    def test_bsc_capacity(self):
+        assert bsc_capacity(0.0) == pytest.approx(1.0)
+        assert bsc_capacity(0.5) == pytest.approx(0.0)
+        assert bsc_capacity(0.11) == pytest.approx(1 - binary_entropy(0.11))
+
+    def test_bec_capacity(self):
+        assert bec_capacity(0.25) == pytest.approx(0.75)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            binary_entropy(1.5)
+        with pytest.raises(ValueError):
+            bsc_capacity(-0.1)
+        with pytest.raises(ValueError):
+            bec_capacity(2.0)
+
+
+class TestFiniteBlocklength:
+    def test_dispersion_limits(self):
+        assert awgn_dispersion(0.0) == 0.0
+        # V -> log2(e)^2 as SNR -> infinity.
+        assert awgn_dispersion(1e9) == pytest.approx(math.log2(math.e) ** 2, rel=1e-3)
+
+    def test_dispersion_rejects_negative(self):
+        with pytest.raises(ValueError):
+            awgn_dispersion(-1.0)
+
+    def test_rate_below_capacity(self):
+        for snr_db in (0.0, 10.0, 25.0):
+            assert ppv_fixed_block_bound_db(snr_db) < awgn_capacity_db(snr_db)
+
+    def test_rate_increases_with_block_length(self):
+        short = normal_approximation_rate(10.0, 24, 1e-4)
+        longer = normal_approximation_rate(10.0, 648, 1e-4)
+        assert longer > short
+
+    def test_rate_increases_with_error_probability(self):
+        strict = normal_approximation_rate(10.0, 24, 1e-6)
+        loose = normal_approximation_rate(10.0, 24, 1e-2)
+        assert loose > strict
+
+    def test_clipped_at_zero_for_low_snr(self):
+        assert ppv_fixed_block_bound_db(-10.0) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            normal_approximation_rate(1.0, 0, 1e-4)
+        with pytest.raises(ValueError):
+            normal_approximation_rate(1.0, 24, 0.0)
+
+
+class TestSpinalBounds:
+    def test_gap_constant_value(self):
+        # ½ log2(πe/6) ≈ 0.2546 (the paper quotes ≈ 0.25).
+        assert spinal_gap_constant() == pytest.approx(0.2546, abs=1e-3)
+
+    def test_awgn_bound_below_capacity(self):
+        for snr_db in (0.0, 10.0, 30.0):
+            assert spinal_awgn_rate_bound(snr_db) == pytest.approx(
+                awgn_capacity_db(snr_db) - spinal_gap_constant()
+            )
+
+    def test_awgn_bound_clipped_at_zero(self):
+        assert spinal_awgn_rate_bound(-20.0) == 0.0
+
+    def test_bsc_bound_equals_capacity(self):
+        assert spinal_bsc_rate_bound(0.1) == pytest.approx(bsc_capacity(0.1))
+
+    def test_paper_capacity_fraction_at_30db(self):
+        """Paper: 'for SNR = 30 dB ... approximately 97.5% of the Shannon capacity'."""
+        fraction = spinal_awgn_rate_bound(30.0) / awgn_capacity_db(30.0)
+        assert fraction == pytest.approx(0.975, abs=0.003)
+
+    def test_min_passes_formulas(self):
+        # Theorem 1: L > k / (C - Δ).
+        snr_db, k = 10.0, 8
+        bound = awgn_capacity_db(snr_db) - spinal_gap_constant()
+        assert min_passes_awgn(snr_db, k) == int(k / bound) + 1
+        assert min_passes_bsc(0.1, 4) == int(4 / bsc_capacity(0.1)) + 1
+
+    def test_min_passes_sentinel_when_impossible(self):
+        assert min_passes_awgn(-30.0, 8) == 2**31
+
+    def test_min_passes_validation(self):
+        with pytest.raises(ValueError):
+            min_passes_awgn(10.0, 0)
+        with pytest.raises(ValueError):
+            min_passes_bsc(0.1, 0)
