@@ -11,8 +11,8 @@ Quickstart::
 
     import numpy as np
     from repro import (
-        AWGNChannel, BubbleDecoder, Framer, RatelessSession, SpinalEncoder,
-        SpinalParams,
+        AWGNChannel, Framer, IncrementalBubbleDecoder, RatelessSession,
+        SpinalEncoder, SpinalParams,
     )
 
     params = SpinalParams(k=8, c=10)
@@ -20,7 +20,7 @@ Quickstart::
     framer = Framer(payload_bits=24, k=params.k)
     session = RatelessSession(
         encoder,
-        decoder_factory=lambda enc: BubbleDecoder(enc, beam_width=16),
+        decoder_factory=lambda enc: IncrementalBubbleDecoder(enc, beam_width=16),
         channel=AWGNChannel(snr_db=10.0, adc_bits=14),
         framer=framer,
     )
@@ -42,6 +42,7 @@ from repro.channels import (
 )
 from repro.core import (
     BubbleDecoder,
+    IncrementalBubbleDecoder,
     CRC8,
     CRC16_CCITT,
     CRC32,
@@ -65,6 +66,7 @@ __all__ = [
     "SpinalParams",
     "SpinalEncoder",
     "BubbleDecoder",
+    "IncrementalBubbleDecoder",
     "MLDecoder",
     "StackDecoder",
     "RatelessSession",

@@ -12,6 +12,12 @@ operations:
 Every command prints a plain-text table (and optionally an ASCII chart), so
 the CLI is usable over ssh on a machine with nothing but this package and
 numpy/scipy installed.
+
+The spinal commands accept ``--workers/-j N`` to fan Monte-Carlo trials out
+over worker processes (per-trial seeding makes the results identical for any
+worker count) and ``--decoder {incremental,bubble}`` to pick between the
+stateful incremental decoding engine (default) and the from-scratch
+reference decoder.
 """
 
 from __future__ import annotations
@@ -35,6 +41,24 @@ from repro.utils.rng import spawn_rng
 __all__ = ["build_parser", "main"]
 
 
+def _add_runner_arguments(parser: argparse.ArgumentParser) -> None:
+    """Arguments shared by every command that drives the Monte-Carlo runner."""
+    parser.add_argument(
+        "--decoder",
+        choices=("incremental", "bubble"),
+        default="incremental",
+        help="decoding engine: stateful incremental (fast) or from-scratch bubble",
+    )
+    parser.add_argument(
+        "--workers",
+        "-j",
+        type=int,
+        default=1,
+        help="worker processes for the Monte-Carlo trials (results are "
+        "identical for any worker count)",
+    )
+
+
 def _add_common_spinal_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--payload-bits", type=int, default=24, help="message size in bits")
     parser.add_argument("--k", type=int, default=8, help="segment size in bits")
@@ -48,6 +72,7 @@ def _add_common_spinal_arguments(parser: argparse.ArgumentParser) -> None:
         default="tail-first",
         help="puncturing schedule",
     )
+    _add_runner_arguments(parser)
     parser.add_argument("--plot", action="store_true", help="also print an ASCII chart")
 
 
@@ -72,6 +97,7 @@ def build_parser() -> argparse.ArgumentParser:
     figure2.add_argument("--snr-max", type=float, default=40.0)
     figure2.add_argument("--snr-step", type=float, default=5.0)
     figure2.add_argument("--trials", type=int, default=15)
+    _add_runner_arguments(figure2)
     figure2.add_argument("--with-ldpc", action="store_true", help="include the LDPC baselines")
     figure2.add_argument("--ldpc-frames", type=int, default=20)
     figure2.add_argument("--plot", action="store_true")
@@ -100,6 +126,8 @@ def _spinal_config(args: argparse.Namespace, bit_mode: bool) -> SpinalRunConfig:
         puncturing=args.puncturing,
         n_trials=args.trials,
         seed=args.seed,
+        decoder=args.decoder,
+        n_workers=args.workers,
     )
 
 
@@ -145,7 +173,9 @@ def _command_figure2(args: argparse.Namespace) -> str:
     while snr <= args.snr_max + 1e-9:
         snrs.append(round(snr, 6))
         snr += args.snr_step
-    config = SpinalRunConfig(n_trials=args.trials)
+    config = SpinalRunConfig(
+        n_trials=args.trials, decoder=args.decoder, n_workers=args.workers
+    )
     data = figure2_table(
         snr_values_db=snrs,
         spinal_config=config,

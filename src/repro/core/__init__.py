@@ -16,6 +16,9 @@ and Shah (HotNets 2011):
 * :mod:`repro.core.decoder_ml` / :mod:`repro.core.decoder_bubble` — the ideal
   maximum-likelihood decoder and the practical beam ("bubble") decoder with
   the graceful scale-down property.
+* :mod:`repro.core.decoder_incremental` — the stateful incremental engine
+  that reuses beam state across the rateless session's decode attempts
+  (bit-identical results, a fraction of the work).
 * :mod:`repro.core.rateless` — the sender/receiver rateless session used by
   every experiment.
 * :mod:`repro.core.crc` / :mod:`repro.core.framing` — termination checking.
@@ -28,6 +31,7 @@ from repro.core.constellation import (
 )
 from repro.core.crc import Crc, CRC8, CRC16_CCITT, CRC32
 from repro.core.decoder_bubble import BubbleDecoder, DecodeResult
+from repro.core.decoder_incremental import IncrementalBubbleDecoder
 from repro.core.decoder_ml import MLDecoder
 from repro.core.decoder_stack import StackDecoder
 from repro.core.encoder import ReceivedObservations, SpinalEncoder
@@ -50,6 +54,7 @@ __all__ = [
     "NoPuncturing",
     "StridedPuncturing",
     "BubbleDecoder",
+    "IncrementalBubbleDecoder",
     "MLDecoder",
     "StackDecoder",
     "DecodeResult",

@@ -1,0 +1,328 @@
+"""Incremental bubble decoder: reuse beam state across rateless attempts.
+
+The rateless receiver "attempts to decode after each subpass" (Section 3).
+A fresh :class:`~repro.core.decoder_bubble.BubbleDecoder` restarts the beam
+search from the root on every attempt, so the total decoder work over a
+session grows quadratically with the number of subpasses received — the
+dominant cost of every Figure-2-style sweep.
+
+This module exploits two structural facts about the beam search:
+
+1. **Prefix stability.**  The beam kept at tree level ``t`` is a
+   deterministic function of the observations at positions ``0..t`` only.  A
+   new subpass that touches positions ``>= p`` therefore leaves every beam at
+   levels ``< p`` *exactly* as a from-scratch decode would recompute it, so
+   the search can resume from level ``p`` with the cached beam at ``p - 1``.
+
+2. **Entry-wise cost structure.**  The branch cost of a candidate spine
+   value against one observation depends only on the triple
+   ``(spine value, pass index, received value)`` — see
+   :meth:`SpinalEncoder.branch_cost_columns`.  Caching the per-observation
+   cost *matrix* of each level (rows: expanded children, columns:
+   observations) makes repeated evaluations across attempts free: a new
+   observation appends a column, a surviving candidate reuses its row, and
+   the row sums are re-reduced over the full matrix so the floating-point
+   summation order — hence every cost, every pruning decision and the final
+   backtrack — is bit-identical to a from-scratch decode.
+
+The equivalence is exact, not approximate: for any sequence of observation
+sets, :meth:`IncrementalBubbleDecoder.decode` returns the same
+``message_bits`` and ``path_cost`` (to the last ulp) as a fresh
+:class:`BubbleDecoder` handed the same observations, which the regression
+suite in ``tests/test_decoder_incremental.py`` locks down.  Only
+``candidates_explored`` differs: it counts the cost work actually performed
+in this attempt, in units of one full tree-node evaluation (a node scored
+against every observation at its level, which is what the from-scratch
+decoder pays per node).  Levels that were skipped or served entirely from
+cache contribute zero; a level that only gained one new observation column
+is charged ``1/n_obs`` of a node evaluation per node, rounded up.  This is
+the measure of decoder work the ROADMAP's throughput goal cares about.
+
+Observation sets may grow (the on-line sequential receiver), shrink, or be
+arbitrary prefixes of each other (the bisection search strategy replays
+truncated histories); the decoder diffs the per-position observation columns
+against its cache and keeps whatever prefix still matches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.decoder_bubble import DecodeResult
+from repro.core.encoder import ReceivedObservations, SpinalEncoder
+
+__all__ = ["IncrementalBubbleDecoder"]
+
+
+@dataclass
+class _LevelCache:
+    """Everything the last attempt computed at one tree level.
+
+    Attributes
+    ----------
+    parent_states:
+        The beam states at the previous level whose expansion produced
+        ``flat_states`` (the cache is valid only while the parent beam is
+        unchanged, order included).
+    flat_states:
+        All expanded children, in candidate order (parent-major, segment-minor).
+    sorted_states / sort_order:
+        ``flat_states`` sorted, plus the permutation, for row lookup when the
+        parent beam has drifted but many children survive.
+    obs_pass_indices / obs_values:
+        Identity of each cost-matrix column: the pass index that salted the
+        observation and the received value itself.
+    cost_matrix:
+        C-contiguous ``(len(flat_states), n_observations)`` float64 matrix of
+        per-observation branch costs.
+    kept_idx / beam_states / beam_costs / parents / segments:
+        The pruning outcome: which candidates survived, their states and
+        cumulative costs, and the backtracking history.
+    """
+
+    parent_states: np.ndarray
+    flat_states: np.ndarray
+    sorted_states: np.ndarray
+    sort_order: np.ndarray
+    obs_pass_indices: np.ndarray
+    obs_values: np.ndarray
+    cost_matrix: np.ndarray
+    kept_idx: np.ndarray
+    beam_states: np.ndarray
+    beam_costs: np.ndarray
+    parents: np.ndarray
+    segments: np.ndarray
+
+
+class IncrementalBubbleDecoder:
+    """Stateful drop-in for :class:`BubbleDecoder` across rateless attempts.
+
+    The constructor signature and the :meth:`decode` contract match
+    :class:`BubbleDecoder` exactly; the difference is that consecutive calls
+    share per-level caches, so a receiver that decodes after every subpass
+    pays only for the part of the tree the new observations actually
+    perturb.  One instance serves one transmission (one message); call
+    :meth:`reset` — or just decode a message of a different length — to
+    start over.
+    """
+
+    def __init__(
+        self,
+        encoder: SpinalEncoder,
+        beam_width: int = 16,
+        max_unpruned_width: int | None = None,
+    ) -> None:
+        if beam_width < 1:
+            raise ValueError(f"beam_width must be at least 1, got {beam_width}")
+        self.encoder = encoder
+        self.beam_width = beam_width
+        k = encoder.params.k
+        default_cap = beam_width * (1 << k)
+        self.max_unpruned_width = (
+            default_cap if max_unpruned_width is None else max_unpruned_width
+        )
+        if self.max_unpruned_width < beam_width:
+            raise ValueError("max_unpruned_width must be at least beam_width")
+        self._all_segments = np.arange(1 << k, dtype=np.uint64)
+        self.candidates_explored_total = 0
+        self.decode_calls = 0
+        self.reset()
+
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        """Drop all cached state (the cumulative work counters survive)."""
+        self._levels: list[_LevelCache] = []
+        self._n_segments: int | None = None
+        self._last_result: DecodeResult | None = None
+
+    # ------------------------------------------------------------------
+    def _column_overlap(self, cache: _LevelCache, pass_indices: np.ndarray, values: np.ndarray) -> int:
+        """Length of the shared observation prefix between cache and now."""
+        m = min(cache.obs_pass_indices.size, pass_indices.size)
+        if m == 0:
+            return 0
+        match = (pass_indices[:m] == cache.obs_pass_indices[:m]) & (
+            values[:m] == cache.obs_values[:m]
+        )
+        if match.all():
+            return m
+        return int(np.argmin(match))
+
+    def _resume_level(self, observations: ReceivedObservations, n_segments: int) -> int:
+        """First tree level whose cached state the observations invalidate."""
+        if len(self._levels) != n_segments:
+            return 0
+        for position in range(n_segments):
+            cache = self._levels[position]
+            pass_indices, values = observations.for_position(position)
+            if pass_indices.size != cache.obs_pass_indices.size:
+                return position
+            if self._column_overlap(cache, pass_indices, values) != pass_indices.size:
+                return position
+        return n_segments
+
+    # ------------------------------------------------------------------
+    def decode(
+        self, n_message_bits: int, observations: ReceivedObservations
+    ) -> DecodeResult:
+        """Decode, reusing whatever the previous attempt already established.
+
+        Semantics (message bits, path cost, beam trace) are identical to
+        ``BubbleDecoder.decode`` on the same observations;
+        ``candidates_explored`` counts only the tree nodes whose costs were
+        (re)computed in *this* attempt.
+        """
+        params = self.encoder.params
+        k = params.k
+        n_segments = params.n_segments(n_message_bits)
+        if observations.n_segments != n_segments:
+            raise ValueError(
+                f"observations were sized for {observations.n_segments} segments "
+                f"but the message has {n_segments}"
+            )
+        if self._n_segments is not None and self._n_segments != n_segments:
+            self.reset()
+        self._n_segments = n_segments
+        self.decode_calls += 1
+
+        resume = self._resume_level(observations, n_segments)
+        if resume == n_segments and self._last_result is not None:
+            # Nothing changed since the last attempt; a fresh decoder would
+            # reproduce the cached result verbatim.
+            result = DecodeResult(
+                message_bits=self._last_result.message_bits,
+                path_cost=self._last_result.path_cost,
+                candidates_explored=0,
+                beam_trace=self._last_result.beam_trace,
+            )
+            self._last_result = result
+            return result
+
+        hash_family = self.encoder.hash_family
+        if resume == 0:
+            states = np.array([hash_family.initial_state], dtype=np.uint64)
+            costs = np.zeros(1, dtype=np.float64)
+        else:
+            states = self._levels[resume - 1].beam_states
+            costs = self._levels[resume - 1].beam_costs
+
+        explored = 0
+        for position in range(resume, n_segments):
+            cache = self._levels[position] if position < len(self._levels) else None
+            pass_indices, values = observations.for_position(position)
+            n_obs = pass_indices.size
+
+            # 1. Expand the beam (or reuse the cached expansion wholesale).
+            parent_match = cache is not None and np.array_equal(
+                states, cache.parent_states
+            )
+            if parent_match:
+                flat_states = cache.flat_states
+                sorted_states, sort_order = cache.sorted_states, cache.sort_order
+            else:
+                children = hash_family.hash_spine(
+                    states[:, None], self._all_segments[None, :]
+                )
+                flat_states = children.reshape(-1)
+                sort_order = np.argsort(flat_states, kind="stable")
+                sorted_states = flat_states[sort_order]
+            n_flat = flat_states.size
+
+            # 2. Assemble the per-observation cost matrix, reusing cached
+            #    columns (shared observation prefix) and cached rows
+            #    (children whose spine value already appeared last attempt).
+            common = 0 if cache is None else self._column_overlap(cache, pass_indices, values)
+            matrix = np.empty((n_flat, n_obs), dtype=np.float64)
+            entries = 0
+            if common:
+                if parent_match:
+                    matrix[:, :common] = cache.cost_matrix[:, :common]
+                else:
+                    idx = np.searchsorted(cache.sorted_states, flat_states)
+                    idx = np.minimum(idx, cache.sorted_states.size - 1)
+                    hit = cache.sorted_states[idx] == flat_states
+                    rows = cache.sort_order[idx]
+                    matrix[hit, :common] = cache.cost_matrix[rows[hit], :common]
+                    miss = ~hit
+                    n_miss = int(miss.sum())
+                    if n_miss:
+                        matrix[miss, :common] = self.encoder.branch_cost_columns(
+                            flat_states[miss], pass_indices[:common], values[:common]
+                        )
+                        entries += n_miss * common
+            if n_obs > common:
+                matrix[:, common:] = self.encoder.branch_cost_columns(
+                    flat_states, pass_indices[common:], values[common:]
+                )
+                entries += n_flat * (n_obs - common)
+            # Work accounting, in units of one full node evaluation at this
+            # level's current observation depth (what a from-scratch decoder
+            # pays per node): cached matrix entries are free, fresh entries
+            # are charged pro-rata and rounded up.  A level with no
+            # observations is charged for its expansion hashing only when the
+            # cached one could not be reused.
+            if n_obs:
+                explored += -(-entries // n_obs)
+            elif not parent_match:
+                explored += n_flat
+
+            # 3. Cumulative costs and pruning — the same expressions as
+            #    BubbleDecoder so ties and ulps agree.
+            if n_obs:
+                branch = matrix.sum(axis=1)
+            else:
+                branch = np.zeros(n_flat, dtype=np.float64)
+            child_costs = costs[:, None] + branch.reshape(states.size, 1 << k)
+            flat_costs = child_costs.reshape(-1)
+            if n_obs > 0:
+                keep = min(self.beam_width, flat_costs.size)
+            else:
+                keep = min(self.max_unpruned_width, flat_costs.size)
+            if keep < flat_costs.size:
+                kept_idx = np.argpartition(flat_costs, keep - 1)[:keep]
+            else:
+                kept_idx = np.arange(flat_costs.size)
+
+            level = _LevelCache(
+                parent_states=states,
+                flat_states=flat_states,
+                sorted_states=sorted_states,
+                sort_order=sort_order,
+                obs_pass_indices=pass_indices,
+                obs_values=values,
+                cost_matrix=matrix,
+                kept_idx=kept_idx,
+                beam_states=flat_states[kept_idx],
+                beam_costs=flat_costs[kept_idx],
+                parents=kept_idx // (1 << k),
+                segments=(kept_idx % (1 << k)).astype(np.uint64),
+            )
+            if position < len(self._levels):
+                self._levels[position] = level
+            else:
+                self._levels.append(level)
+            states = level.beam_states
+            costs = level.beam_costs
+
+        # 4. Backtrack from the best leaf across *all* levels (cached + new).
+        last = self._levels[n_segments - 1]
+        best = int(np.argmin(last.beam_costs))
+        segments = np.empty(n_segments, dtype=np.uint64)
+        node = best
+        for position in range(n_segments - 1, -1, -1):
+            level = self._levels[position]
+            segments[position] = level.segments[node]
+            node = int(level.parents[node])
+
+        message_bits = self.encoder.spine_generator.segments_to_bits(segments)
+        self.candidates_explored_total += explored
+        result = DecodeResult(
+            message_bits=message_bits,
+            path_cost=float(last.beam_costs[best]),
+            candidates_explored=explored,
+            beam_trace=tuple(int(level.kept_idx.size) for level in self._levels),
+        )
+        self._last_result = result
+        return result

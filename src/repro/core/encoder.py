@@ -222,6 +222,41 @@ class SpinalEncoder:
             subpass_index += 1
 
     # -- decoder support --------------------------------------------------------
+    def branch_cost_columns(
+        self,
+        candidate_spines: np.ndarray,
+        pass_indices: np.ndarray,
+        received: np.ndarray,
+    ) -> np.ndarray:
+        """Per-observation cost matrix for candidate spine values.
+
+        Returns a C-contiguous ``float64`` matrix of shape
+        ``(n_candidates, n_observations)``: entry ``(i, j)`` is the cost of
+        candidate ``i`` against the ``j``-th observation (a received value
+        salted with ``pass_indices[j]``) — squared Euclidean distance in
+        symbol mode, 0/1 Hamming mismatch in bit mode.
+
+        Each entry depends only on ``(spine value, pass index, received
+        value)``, never on the shape of the call, so the matrix can be
+        assembled column-by-column (or row-by-row) across decode attempts and
+        still be bit-identical to a single batched evaluation — the property
+        the incremental decoder's caching relies on.
+        """
+        spines = np.asarray(candidate_spines, dtype=np.uint64).reshape(-1)
+        pass_indices = np.asarray(pass_indices, dtype=np.int64)
+        if self.params.bit_mode:
+            bits = self.hash_family.symbol_value(
+                spines[:, None], pass_indices[None, :], 1
+            )
+            mismatches = bits != received[None, :].astype(np.uint64)
+            return np.ascontiguousarray(mismatches, dtype=np.float64)
+        words = self.hash_family.symbol_value(
+            spines[:, None], pass_indices[None, :], self.constellation.bits_per_symbol
+        )
+        candidates = self.constellation.map_values(words)
+        diff = candidates - received[None, :].astype(np.complex128)
+        return diff.real**2 + diff.imag**2
+
     def branch_costs(
         self,
         candidate_spines: np.ndarray,
@@ -242,21 +277,10 @@ class SpinalEncoder:
             return np.zeros(candidate_spines.shape, dtype=np.float64)
         # One 2-D vectorised evaluation: rows are candidates, columns are the
         # observations (passes) available at this position.
-        spines = candidate_spines.reshape(-1)
-        if self.params.bit_mode:
-            bits = self.hash_family.symbol_value(
-                spines[:, None], pass_indices[None, :], 1
-            )
-            mismatches = bits != received[None, :].astype(np.uint64)
-            costs = mismatches.sum(axis=1).astype(np.float64)
-        else:
-            words = self.hash_family.symbol_value(
-                spines[:, None], pass_indices[None, :], self.constellation.bits_per_symbol
-            )
-            candidates = self.constellation.map_values(words)
-            diff = candidates - received[None, :].astype(np.complex128)
-            costs = (diff.real**2 + diff.imag**2).sum(axis=1)
-        return costs.reshape(candidate_spines.shape)
+        matrix = self.branch_cost_columns(
+            candidate_spines.reshape(-1), pass_indices, received
+        )
+        return matrix.sum(axis=1).reshape(candidate_spines.shape)
 
     def total_cost(
         self, message_bits: np.ndarray, observations: ReceivedObservations

@@ -33,7 +33,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-__all__ = ["SaltedHashFamily", "splitmix64", "avalanche_score"]
+__all__ = ["SaltedHashFamily", "splitmix64", "popcount64", "avalanche_score"]
 
 # splitmix64 constants (Steele, Lea & Flood; public domain reference values).
 _GOLDEN = np.uint64(0x9E3779B97F4A7C15)
@@ -193,6 +193,20 @@ def avalanche_score(family: SaltedHashFamily, n_samples: int, rng: np.random.Gen
     flipped = segments ^ (np.uint64(1) << flip_positions.astype(np.uint64))
     base = family.hash_spine(states, segments)
     perturbed = family.hash_spine(states, flipped)
-    diff = base ^ perturbed
-    changed_bits = np.array([bin(int(d)).count("1") for d in diff])
+    changed_bits = popcount64(base ^ perturbed)
     return float(changed_bits.mean() / 64.0)
+
+
+def popcount64(values: np.ndarray) -> np.ndarray:
+    """Per-element population count of a ``uint64`` array.
+
+    Uses :func:`numpy.bitwise_count` where available (numpy >= 2.0) and an
+    ``unpackbits``-over-bytes fallback otherwise; both are vectorised, unlike
+    the per-element Python ``bin(x).count("1")`` loop they replace, which
+    dominated the runtime of hash-quality sweeps over millions of samples.
+    """
+    values = np.ascontiguousarray(values, dtype=np.uint64)
+    if hasattr(np, "bitwise_count"):
+        return np.bitwise_count(values).astype(np.int64)
+    as_bytes = values.view(np.uint8).reshape(values.size, 8)
+    return np.unpackbits(as_bytes, axis=1).sum(axis=1).astype(np.int64).reshape(values.shape)

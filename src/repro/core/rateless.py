@@ -7,6 +7,15 @@ succeeds, tells the sender to stop.  The achieved *rate* of a trial is the
 number of message bits divided by the number of channel uses needed — the
 quantity plotted on the y-axis of Figure 2.
 
+Because the receiver decodes after every subpass, the decoder choice
+matters enormously for sweep cost: a from-scratch
+:class:`~repro.core.decoder_bubble.BubbleDecoder` makes total decoder work
+quadratic in the number of subpasses, while the stateful
+:class:`~repro.core.decoder_incremental.IncrementalBubbleDecoder` resumes
+each attempt from cached beam state with bit-identical results.  The
+receiver additionally skips attempts that cannot possibly succeed yet (see
+:class:`RatelessReceiver`).
+
 Two termination rules are provided:
 
 * ``"genie"`` — the receiver is told when its decode equals the true
@@ -86,7 +95,20 @@ class TrialResult:
 
 
 class RatelessReceiver:
-    """Receiver state for one rateless trial: observations plus termination."""
+    """Receiver state for one rateless trial: observations plus termination.
+
+    The receiver declines to run the decoder while the observed symbols carry
+    fewer coded bits than the message's unknown (payload + CRC) bits — below
+    that threshold a *reliable* decode is information-theoretically
+    impossible, so attempting one only burns tree expansions (the
+    no-observation spine positions force the decoder into its widest
+    unpruned beams).  Note this is a deliberate behavioural change, not a
+    pure optimisation: below the threshold the termination rule could still
+    fire by luck (a genie match or CRC pass on an under-determined guess),
+    and such above-capacity flukes are now suppressed rather than credited
+    as ultra-high-rate trials.  Skipped attempts do not count towards
+    ``decode_attempts``.
+    """
 
     def __init__(
         self,
@@ -109,13 +131,28 @@ class RatelessReceiver:
         self.decode_attempts = 0
         self.candidates_explored = 0
         self.last_result: DecodeResult | None = None
+        bits_per_symbol = decoder.encoder.params.coded_bits_per_symbol
+        unknown_bits = framer.payload_bits + framer.crc_bits
+        #: Minimum channel uses before a decode attempt can possibly succeed.
+        self.min_decode_symbols = -(-unknown_bits // bits_per_symbol)
 
     def receive(self, block: SubpassBlock, received_values: np.ndarray) -> None:
         """Record the received values of one subpass."""
         self.observations.add_block(block, received_values)
 
     def try_decode(self) -> bool:
-        """Run one decode attempt; return True if the termination rule fires."""
+        """Run one decode attempt; return True if the termination rule fires.
+
+        Returns False without invoking the decoder while fewer coded bits
+        than the unknown message bits have been observed (see the class
+        docstring for the semantics of this threshold).
+        """
+        if self.observations.total_symbols < self.min_decode_symbols:
+            return False
+        return self.decode_now()
+
+    def decode_now(self) -> bool:
+        """Run the decoder unconditionally (bypassing the symbol threshold)."""
         result = self.decoder.decode(self.framer.framed_bits, self.observations)
         self.decode_attempts += 1
         self.candidates_explored += result.candidates_explored
@@ -140,8 +177,12 @@ class RatelessSession:
         mode and puncturing schedule).
     decoder_factory:
         Callable building a fresh decoder bound to the encoder, e.g.
-        ``lambda enc: BubbleDecoder(enc, beam_width=16)``.  A factory rather
-        than an instance so sweeps over decoder parameters stay explicit.
+        ``lambda enc: IncrementalBubbleDecoder(enc, beam_width=16)`` (the
+        stateful engine that reuses beam state across the session's decode
+        attempts) or ``lambda enc: BubbleDecoder(enc, beam_width=16)`` (the
+        from-scratch reference; bit-identical results, more work).  A
+        factory rather than an instance so each trial gets a private
+        decoder state and sweeps over decoder parameters stay explicit.
     channel:
         The channel model symbols/bits are transmitted through.
     framer:
@@ -221,6 +262,11 @@ class RatelessSession:
             if receiver.try_decode():
                 return self._result(receiver, payload, symbols_sent, success=True)
             if symbols_sent >= self.max_symbols:
+                if receiver.last_result is None:
+                    # The budget ran out before the symbol threshold allowed
+                    # any attempt; decode once so the trial still reports a
+                    # best guess.
+                    receiver.decode_now()
                 return self._result(receiver, payload, symbols_sent, success=False)
         raise RuntimeError("symbol stream terminated unexpectedly")  # pragma: no cover
 
@@ -249,7 +295,9 @@ class RatelessSession:
             decoder, self.framer, self.termination, true_framed_bits=framed
         )
 
-        def attempt(boundary_index: int) -> bool:
+        def attempt(boundary_index: int, force: bool = False) -> bool:
+            if not force and boundaries[boundary_index] < shared.min_decode_symbols:
+                return False
             observations = ReceivedObservations(self.framer.n_segments)
             observations = observations.truncated(
                 boundaries[boundary_index], blocks, received
@@ -277,6 +325,8 @@ class RatelessSession:
                 break
             last_failure = index
             if boundaries[-1] >= self.max_symbols:
+                if shared.last_result is None:
+                    attempt(len(boundaries) - 1, force=True)
                 return self._result(shared, payload, boundaries[-1], success=False)
             target = min(2 * boundaries[-1], self.max_symbols)
 
@@ -303,6 +353,10 @@ class RatelessSession:
         symbols_sent: int,
         success: bool,
     ) -> TrialResult:
+        # Both search strategies guarantee at least one decode before
+        # reporting; decoded_payload() raises loudly if that ever regresses
+        # (the bisect receiver's own observation store stays empty, so a
+        # silent fallback decode here would use the wrong data).
         decoded_payload = receiver.decoded_payload()
         return TrialResult(
             success=success,

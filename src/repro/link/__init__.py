@@ -19,7 +19,7 @@ from repro.link.feedback import (
     FeedbackModel,
     PerfectFeedback,
 )
-from repro.link.session import LinkSessionResult, simulate_link_session
+from repro.link.session import LinkSessionResult, deliver_packets, simulate_link_session
 
 __all__ = [
     "FeedbackModel",
@@ -27,5 +27,6 @@ __all__ = [
     "DelayedFeedback",
     "BlockFeedback",
     "simulate_link_session",
+    "deliver_packets",
     "LinkSessionResult",
 ]

@@ -3,6 +3,12 @@
 Takes the per-packet "symbols needed" measurements produced by the rateless
 session and turns them into link-level throughput and latency numbers for a
 given feedback model — the quantity experiment E13 sweeps.
+
+:func:`deliver_packets` bridges the physical and link layers directly: it
+transmits a sequence of payloads through a :class:`RatelessSession` (whose
+``decoder_factory`` decides between the from-scratch and incremental
+decoding engines) and applies a feedback model to the measured per-packet
+symbol requirements in one step.
 """
 
 from __future__ import annotations
@@ -12,9 +18,10 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.core.rateless import RatelessSession, TrialResult
 from repro.link.feedback import FeedbackModel
 
-__all__ = ["LinkSessionResult", "simulate_link_session"]
+__all__ = ["LinkSessionResult", "simulate_link_session", "deliver_packets"]
 
 
 @dataclass(frozen=True)
@@ -79,3 +86,30 @@ def simulate_link_session(
         symbols_needed=needed,
         symbols_spent=spent,
     )
+
+
+def deliver_packets(
+    session: RatelessSession,
+    payloads: Sequence[np.ndarray],
+    rng: np.random.Generator,
+    feedback: FeedbackModel,
+) -> tuple[LinkSessionResult, list[TrialResult]]:
+    """Transmit each payload ratelessly and account for feedback overhead.
+
+    Runs one rateless trial per payload through ``session`` (each trial gets
+    a fresh decoder from the session's factory, so the incremental engine's
+    per-message caches never leak between packets), then applies ``feedback``
+    to the measured symbol requirements.  Returns the link-level accounting
+    together with the underlying per-packet trial results, whose
+    ``candidates_explored`` totals expose the decoder work the engine choice
+    saved.
+    """
+    if len(payloads) == 0:
+        raise ValueError("at least one packet is required")
+    trials = [session.run(payload, rng) for payload in payloads]
+    link_result = simulate_link_session(
+        [trial.symbols_sent for trial in trials],
+        session.framer.payload_bits,
+        feedback,
+    )
+    return link_result, trials

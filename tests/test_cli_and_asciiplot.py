@@ -96,11 +96,31 @@ class TestMainEndToEnd:
         )
         assert "rate (b/bit)" in output
 
+    def test_rate_with_workers_and_decoder_choice(self):
+        base_args = [
+            "rate", "10",
+            "--payload-bits", "16", "--k", "4", "--c", "6",
+            "--trials", "4", "--beam-width", "8",
+        ]
+        serial = main(base_args)
+        parallel = main(base_args + ["--workers", "2"])
+        bubble = main(base_args + ["--decoder", "bubble"])
+        # Worker count and engine choice are wall-clock knobs only: the
+        # rendered measurements must be identical.
+        assert parallel == serial
+        assert bubble == serial
+
     def test_figure2_without_ldpc(self):
         output = main(
             ["figure2", "--snr-min", "0", "--snr-max", "20", "--snr-step", "10", "--trials", "3"]
         )
         assert "Shannon" in output and "Spinal" in output
+
+    def test_figure2_decoder_and_workers_knobs(self):
+        base = ["figure2", "--snr-min", "10", "--snr-max", "10", "--trials", "2"]
+        default = main(base)
+        assert main(base + ["--decoder", "bubble"]) == default
+        assert main(base + ["-j", "2"]) == default
 
     def test_ldpc(self):
         output = main(

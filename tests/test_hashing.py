@@ -11,7 +11,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.core.hashing import SaltedHashFamily, avalanche_score, splitmix64
+from repro.core.hashing import SaltedHashFamily, avalanche_score, popcount64, splitmix64
 
 
 @pytest.fixture
@@ -155,3 +155,34 @@ class TestAvalanche:
     def test_avalanche_rejects_bad_sample_count(self, family, rng):
         with pytest.raises(ValueError):
             avalanche_score(family, 0, rng)
+
+    def test_avalanche_near_half_at_scale(self, family):
+        """The vectorised popcount makes large-sample sweeps affordable; the
+        bigger sample also pins the score much more tightly around 0.5."""
+        rng = np.random.default_rng(20111114)
+        score = avalanche_score(family, 200_000, rng)
+        assert 0.49 < score < 0.51
+
+
+class TestPopcount64:
+    def test_known_values(self):
+        values = np.array([0, 1, 3, 0xFF, 2**64 - 1, 0x8000000000000001], dtype=np.uint64)
+        assert popcount64(values).tolist() == [0, 1, 2, 8, 64, 2]
+
+    def test_matches_python_popcount_on_random_words(self):
+        rng = np.random.default_rng(7)
+        values = rng.integers(0, 2**63, size=500, dtype=np.uint64)
+        expected = [bin(int(v)).count("1") for v in values]
+        assert popcount64(values).tolist() == expected
+
+    def test_preserves_shape(self):
+        values = np.arange(12, dtype=np.uint64).reshape(3, 4)
+        counts = popcount64(values)
+        assert counts.shape == (3, 4)
+        assert counts[0, 3] == 2  # popcount(3)
+
+    def test_unpackbits_fallback_agrees(self):
+        values = np.random.default_rng(9).integers(0, 2**63, size=64, dtype=np.uint64)
+        as_bytes = np.ascontiguousarray(values).view(np.uint8).reshape(values.size, 8)
+        fallback = np.unpackbits(as_bytes, axis=1).sum(axis=1)
+        assert popcount64(values).tolist() == fallback.tolist()

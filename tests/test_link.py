@@ -5,12 +5,22 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro.channels.awgn import AWGNChannel
+from repro.core.decoder_bubble import BubbleDecoder
+from repro.core.decoder_incremental import IncrementalBubbleDecoder
+from repro.core.encoder import SpinalEncoder
+from repro.core.framing import Framer
+from repro.core.params import SpinalParams
+from repro.core.rateless import RatelessSession
 from repro.link import (
     BlockFeedback,
     DelayedFeedback,
     PerfectFeedback,
+    deliver_packets,
     simulate_link_session,
 )
+from repro.utils.bitops import random_message_bits
+from repro.utils.rng import spawn_rng
 
 
 class TestPerfectFeedback:
@@ -85,3 +95,51 @@ class TestLinkSession:
             simulate_link_session([0], 24, PerfectFeedback())
         with pytest.raises(ValueError):
             simulate_link_session([4], 0, PerfectFeedback())
+
+
+class TestDeliverPackets:
+    def _session(self, decoder_cls):
+        params = SpinalParams(k=4, c=6, seed=45)
+        return RatelessSession(
+            SpinalEncoder(params),
+            decoder_factory=lambda enc: decoder_cls(enc, beam_width=8),
+            channel=AWGNChannel(snr_db=12.0, adc_bits=14),
+            framer=Framer(payload_bits=16, k=params.k),
+            termination="genie",
+            max_symbols=256,
+            search="sequential",
+        )
+
+    def test_delivers_and_accounts(self):
+        session = self._session(IncrementalBubbleDecoder)
+        rng = spawn_rng(3, "link-deliver")
+        payloads = [random_message_bits(16, rng) for _ in range(4)]
+        link_result, trials = deliver_packets(session, payloads, rng, PerfectFeedback())
+        assert link_result.n_packets == 4
+        assert len(trials) == 4
+        assert all(trial.payload_correct for trial in trials)
+        assert link_result.symbols_needed.tolist() == [t.symbols_sent for t in trials]
+        assert link_result.feedback_efficiency == pytest.approx(1.0)
+
+    def test_engine_choice_is_invisible_at_link_level(self):
+        outcomes = {}
+        for name, cls in [("fresh", BubbleDecoder), ("incremental", IncrementalBubbleDecoder)]:
+            session = self._session(cls)
+            rng = spawn_rng(4, "link-engines")
+            payloads = [random_message_bits(16, rng) for _ in range(3)]
+            link_result, trials = deliver_packets(
+                session, payloads, rng, DelayedFeedback(delay_symbols=4)
+            )
+            outcomes[name] = (
+                link_result.symbols_needed.tolist(),
+                link_result.throughput_bits_per_symbol,
+                sum(t.candidates_explored for t in trials),
+            )
+        assert outcomes["fresh"][0] == outcomes["incremental"][0]
+        assert outcomes["fresh"][1] == outcomes["incremental"][1]
+        assert outcomes["incremental"][2] < outcomes["fresh"][2]
+
+    def test_requires_packets(self):
+        session = self._session(IncrementalBubbleDecoder)
+        with pytest.raises(ValueError):
+            deliver_packets(session, [], spawn_rng(5, "empty"), PerfectFeedback())
