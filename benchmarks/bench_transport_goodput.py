@@ -1,0 +1,81 @@
+"""E15: measured goodput of the sliding-window ARQ transport over relays.
+
+The closed-form feedback models (E13) assume their overhead; the event-driven
+transport *measures* it from protocol dynamics.  This benchmark regenerates
+the E15 grid — ARQ policy x window x feedback RTT x hop count — and asserts
+the two anchor equivalences that pin the simulator to the rest of the
+library:
+
+* with a zero-delay lossless reverse channel, selective-repeat (any window)
+  and go-back-N (window 1) spend exactly the symbols the decoders needed —
+  ``symbol_efficiency == 1.0``, i.e. :class:`PerfectFeedback` accounting;
+* windowing must recover goodput under feedback delay: at the largest
+  swept RTT, selective-repeat with the widest window must beat window 1.
+
+The pytest-benchmark fixture wraps the full sweep, so the harness doubles as
+a performance regression test for the event-driven simulator itself.
+"""
+
+from __future__ import annotations
+
+from _bench_utils import bench_smoke, bench_workers
+from repro.core.params import SpinalParams
+from repro.experiments.transport_sweep import (
+    TransportSweepConfig,
+    run_transport_sweep,
+    transport_sweep_table,
+)
+
+
+def _sweep_config() -> TransportSweepConfig:
+    if bench_smoke():
+        return TransportSweepConfig(
+            payload_bits=16,
+            params=SpinalParams(k=4, c=6, seed=31),
+            beam_width=8,
+            snr_db=10.0,
+            n_packets=4,
+            windows=(1, 2),
+            ack_delays=(0, 16),
+            hop_counts=(1, 2),
+            max_symbols=512,
+            n_workers=bench_workers(),
+        )
+    return TransportSweepConfig(
+        snr_db=8.0,
+        n_packets=8,
+        windows=(1, 2, 4),
+        ack_delays=(0, 8, 32),
+        hop_counts=(1, 2, 3),
+        n_workers=bench_workers(),
+    )
+
+
+def test_transport_goodput_grid(benchmark, reporter):
+    config = _sweep_config()
+    rows = benchmark(run_transport_sweep, config)
+
+    for row in rows:
+        assert row.n_delivered == row.n_packets, row
+        if row.ack_delay == 0 and (row.protocol == "selective-repeat" or row.window == 1):
+            # The PerfectFeedback anchor: nothing spent beyond what the
+            # decoders needed.
+            assert row.symbol_efficiency == 1.0, row
+
+    max_delay = max(config.ack_delays)
+    for hops in config.hop_counts:
+        sr = {
+            row.window: row.goodput
+            for row in rows
+            if row.hops == hops
+            and row.protocol == "selective-repeat"
+            and row.ack_delay == max_delay
+        }
+        assert sr[max(config.windows)] > sr[1], (hops, sr)
+
+    reporter.add(
+        "Transport goodput (E15) — sliding-window ARQ over relay chains",
+        transport_sweep_table(rows)
+        + f"\n(workers={config.n_workers}; goodput in payload bits per symbol-time "
+        "of pipelined wall-clock; efficiency is needed/spent symbols)",
+    )

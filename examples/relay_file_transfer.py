@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Two-hop decode-and-forward file transfer over the ARQ transport.
+
+`examples/file_transfer.py` moves a file over one link with closed-form
+feedback accounting.  This example upgrades both halves of that story:
+
+* the feedback is *simulated*, not assumed — a selective-repeat sliding
+  window with a delayed, lossy reverse channel, so the printed overhead is
+  what the protocol actually spent;
+* the path is a two-hop relay (source -> relay -> destination) whose second
+  hop is noisier; the relay fully decodes each packet and re-encodes it
+  with a fresh hash seed, and the two hops pipeline under one event clock.
+
+Run with:  python examples/relay_file_transfer.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.runner import SpinalRunConfig
+from repro.link import TransportConfig, build_relay_sessions, simulate_relay_transport
+from repro.theory import awgn_capacity_db
+from repro.utils.bitops import bits_to_bytes, bytes_to_bits
+from repro.utils.rng import spawn_rng
+
+
+def main() -> None:
+    payload_bits = 24
+    hop_snrs_db = [12.0, 6.0]  # the relay's outbound hop is 6 dB worse
+    window = 4
+    ack_delay = 16
+    ack_loss = 0.1
+
+    rng = spawn_rng(4242, "relay-file")
+    file_bytes = rng.integers(0, 256, size=45, dtype=np.uint8).tobytes()
+    file_bits = bytes_to_bits(file_bytes)
+    n_packets = file_bits.size // payload_bits
+    payloads = [
+        file_bits[i * payload_bits : (i + 1) * payload_bits] for i in range(n_packets)
+    ]
+    print(
+        f"Transferring {len(file_bytes)} bytes as {n_packets} packets of "
+        f"{payload_bits} bits over a {len(hop_snrs_db)}-hop relay"
+    )
+    for hop, snr in enumerate(hop_snrs_db):
+        print(
+            f"  hop {hop}: AWGN {snr:.0f} dB "
+            f"(capacity {awgn_capacity_db(snr):.2f} bits/symbol)"
+        )
+
+    run_config = SpinalRunConfig(payload_bits=payload_bits, max_symbols=2048)
+    sessions = build_relay_sessions(run_config, hop_snrs_db)
+    transport = TransportConfig(
+        protocol="selective-repeat",
+        window=window,
+        ack_delay=ack_delay,
+        ack_loss=ack_loss,
+        seed=4242,
+    )
+    print(
+        f"Protocol: selective-repeat, window {window}, ACK delay {ack_delay} "
+        f"symbol-times, ACK loss {ack_loss:.0%}"
+    )
+
+    result = simulate_relay_transport(sessions, payloads, transport)
+
+    final_hop = result.hops[-1]
+    received = {
+        int(final_hop.orig_indices[i]): final_hop.decoded_payloads[i]
+        for i in range(final_hop.n_packets)
+        if final_hop.delivered[i]
+    }
+    received_bits = np.concatenate([received[i] for i in sorted(received)])
+    ok = bits_to_bytes(received_bits) == file_bytes
+    print(f"\nFile reassembled correctly : {ok} "
+          f"({result.n_delivered}/{result.n_packets} packets delivered)")
+    print(f"End-to-end makespan        : {result.makespan} symbol-times")
+    print(f"End-to-end goodput         : {result.end_to_end_goodput:.2f} bits/symbol-time")
+    print(f"Symbol efficiency          : {result.symbol_efficiency:.2f} "
+          "(needed/spent; 1.00 = perfect feedback)")
+
+    print("\nPer-hop accounting:")
+    for hop_index, hop in enumerate(result.hops):
+        print(
+            f"  hop {hop_index}: {hop.total_symbols_sent:5d} symbols for "
+            f"{int(hop.symbols_needed.sum()):5d} needed "
+            f"(efficiency {hop.symbol_efficiency:.2f}), "
+            f"{hop.acks_sent} ACKs sent, {hop.acks_lost} lost"
+        )
+    link = final_hop.link_session_result()
+    print(
+        f"\nFinal hop in link-session terms: throughput "
+        f"{link.throughput_bits_per_symbol:.2f} bits/symbol, "
+        f"feedback efficiency {link.feedback_efficiency:.2f}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -6,13 +6,15 @@ binary symmetric channel (Theorem 2).  This package provides those two
 channels plus the supporting cast needed by the examples and extension
 experiments: a binary erasure channel, Rayleigh block fading, time-varying
 SNR traces (for the rate-adaptation comparisons the introduction motivates),
-and the ADC quantiser as a standalone component.
+the ADC quantiser as a standalone component, and the frame-level packet
+erasure model the link transport uses for its ACK (reverse) channel.
 """
 
 from repro.channels.awgn import AWGNChannel, TimeVaryingAWGNChannel
 from repro.channels.base import BitChannel, Channel, SymbolChannel
 from repro.channels.bec import BECChannel, ERASURE
 from repro.channels.bsc import BSCChannel
+from repro.channels.erasure import PacketErasureChannel
 from repro.channels.fading import RayleighBlockFadingChannel
 from repro.channels.quantize import AdcQuantizer
 from repro.channels.traces import (
@@ -31,6 +33,7 @@ __all__ = [
     "BSCChannel",
     "BECChannel",
     "ERASURE",
+    "PacketErasureChannel",
     "RayleighBlockFadingChannel",
     "AdcQuantizer",
     "constant_trace",

@@ -3,11 +3,14 @@
 Installed (or run via ``python -m repro.cli``) it exposes the most common
 operations:
 
-* ``rate``     — measure the spinal rate at one or more AWGN SNRs;
-* ``bsc``      — measure the bit-mode spinal rate at one or more crossover
+* ``rate``      — measure the spinal rate at one or more AWGN SNRs;
+* ``bsc``       — measure the bit-mode spinal rate at one or more crossover
   probabilities;
-* ``figure2``  — regenerate a coarse Figure 2 (spinal + bounds, optional LDPC);
-* ``ldpc``     — measure one fixed-rate LDPC configuration across SNRs.
+* ``figure2``   — regenerate a coarse Figure 2 (spinal + bounds, optional LDPC);
+* ``ldpc``      — measure one fixed-rate LDPC configuration across SNRs;
+* ``transport`` — simulate the sliding-window ARQ transport (go-back-N /
+  selective-repeat, lossy delayed ACKs, multi-hop decode-and-forward relay)
+  and report measured goodput over the protocol grid.
 
 Every command prints a plain-text table (and optionally an ASCII chart), so
 the CLI is usable over ssh on a machine with nothing but this package and
@@ -32,6 +35,11 @@ from repro.experiments.runner import (
     SpinalRunConfig,
     run_spinal_bsc_curve,
     run_spinal_curve,
+)
+from repro.experiments.transport_sweep import (
+    TransportSweepConfig,
+    run_transport_sweep,
+    transport_sweep_table,
 )
 from repro.theory.capacity import awgn_capacity_db, bsc_capacity
 from repro.utils.asciiplot import ascii_plot
@@ -101,6 +109,54 @@ def build_parser() -> argparse.ArgumentParser:
     figure2.add_argument("--with-ldpc", action="store_true", help="include the LDPC baselines")
     figure2.add_argument("--ldpc-frames", type=int, default=20)
     figure2.add_argument("--plot", action="store_true")
+
+    transport = subparsers.add_parser(
+        "transport",
+        help="measured goodput of the sliding-window ARQ transport over a relay chain",
+    )
+    transport.add_argument("--snr", type=float, default=8.0, help="first-hop SNR in dB")
+    transport.add_argument(
+        "--snr-step",
+        type=float,
+        default=-2.0,
+        help="SNR change per additional hop in dB (default: each hop 2 dB worse)",
+    )
+    transport.add_argument(
+        "--hops", type=int, nargs="+", default=[1, 2], help="relay hop counts to sweep"
+    )
+    transport.add_argument(
+        "--protocol",
+        choices=("go-back-n", "selective-repeat", "both"),
+        default="both",
+        help="ARQ protocol(s) to sweep",
+    )
+    transport.add_argument(
+        "--window", type=int, nargs="+", default=[1, 2, 4], help="sender window sizes"
+    )
+    transport.add_argument(
+        "--ack-delay",
+        type=int,
+        nargs="+",
+        default=[0, 8, 32],
+        help="feedback RTTs in symbol-times",
+    )
+    transport.add_argument(
+        "--ack-loss", type=float, default=0.0, help="reverse-channel ACK loss probability"
+    )
+    transport.add_argument("--packets", type=int, default=8, help="packets per simulation")
+    transport.add_argument("--payload-bits", type=int, default=24, help="payload bits per packet")
+    transport.add_argument("--k", type=int, default=8, help="segment size in bits")
+    transport.add_argument("--c", type=int, default=10, help="bits per constellation dimension")
+    transport.add_argument("--beam-width", "-B", type=int, default=16, help="decoder beam width")
+    transport.add_argument("--seed", type=int, default=20111114, help="base random seed")
+    transport.add_argument(
+        "--max-symbols",
+        type=int,
+        default=4096,
+        help="per-packet abort budget in channel uses",
+    )
+    _add_runner_arguments(transport)
+    transport.add_argument("--plot", action="store_true", help="also print an ASCII chart")
 
     ldpc = subparsers.add_parser("ldpc", help="achieved rate of one LDPC configuration")
     ldpc.add_argument("snrs", type=float, nargs="+", help="SNR values in dB")
@@ -199,6 +255,49 @@ def _command_figure2(args: argparse.Namespace) -> str:
     return output
 
 
+def _command_transport(args: argparse.Namespace) -> str:
+    protocols = (
+        ("go-back-n", "selective-repeat") if args.protocol == "both" else (args.protocol,)
+    )
+    config = TransportSweepConfig(
+        payload_bits=args.payload_bits,
+        params=SpinalParams(k=args.k, c=args.c),
+        beam_width=args.beam_width,
+        snr_db=args.snr,
+        snr_step_db=args.snr_step,
+        n_packets=args.packets,
+        protocols=protocols,
+        windows=tuple(args.window),
+        ack_delays=tuple(args.ack_delay),
+        hop_counts=tuple(args.hops),
+        ack_loss=args.ack_loss,
+        max_symbols=args.max_symbols,
+        seed=args.seed,
+        decoder=args.decoder,
+        n_workers=args.workers,
+    )
+    rows = run_transport_sweep(config)
+    output = transport_sweep_table(rows)
+    if args.plot and len(config.windows) >= 2:
+        # Goodput vs window size, one curve per protocol, at the first
+        # (hops, ack delay) grid point — the sweep's headline trade-off.
+        hops0, delay0 = config.hop_counts[0], config.ack_delays[0]
+        curves = {}
+        for protocol in protocols:
+            curves[protocol] = [
+                row.goodput
+                for row in rows
+                if row.hops == hops0 and row.protocol == protocol and row.ack_delay == delay0
+            ]
+        output += "\n\n" + ascii_plot(
+            list(config.windows),
+            curves,
+            x_label=f"window size (hops={hops0}, ack delay={delay0})",
+            y_label="goodput",
+        )
+    return output
+
+
 def _command_ldpc(args: argparse.Namespace) -> str:
     config = LdpcConfig(Fraction(args.rate), args.modulation)
     system = FixedRateLdpcSystem(config, max_iterations=args.iterations)
@@ -221,6 +320,7 @@ def main(argv: list[str] | None = None) -> str:
         "bsc": _command_bsc,
         "figure2": _command_figure2,
         "ldpc": _command_ldpc,
+        "transport": _command_transport,
     }
     output = commands[args.command](args)
     print(output)

@@ -51,7 +51,7 @@ from repro.core.decoder_bubble import BubbleDecoder, DecodeResult
 from repro.core.encoder import ReceivedObservations, SpinalEncoder, SubpassBlock
 from repro.core.framing import Framer
 
-__all__ = ["RatelessSession", "RatelessReceiver", "TrialResult"]
+__all__ = ["RatelessSession", "RatelessReceiver", "PacketTransmission", "TrialResult"]
 
 
 @dataclass(frozen=True)
@@ -167,6 +167,92 @@ class RatelessReceiver:
         return self.framer.extract_payload(self.last_result.message_bits)
 
 
+class PacketTransmission:
+    """A pausable, resumable rateless transmission of one framed payload.
+
+    The link-transport simulator interleaves many packets over one forward
+    channel: a sliding-window sender transmits a subpass of one packet, then
+    may switch to another in-flight packet before the first has decoded.
+    This class is the per-packet state that makes such interleaving possible
+    — it holds the packet's encoder stream position, its private receiver
+    (decoder state plus observations), and the sender-side symbol count, so
+    a transmission can be advanced one subpass at a time in any global
+    order.
+
+    Sending and delivering are deliberately *separate* steps:
+    :meth:`send_next_block` spends channel uses (sender + channel), while
+    :meth:`deliver` feeds the received values to this packet's receiver and
+    attempts a decode.  A transport protocol may send a block and then
+    *discard* it at the receiver (go-back-N drops out-of-order frames), in
+    which case the symbols still count against the sender but never reach
+    the decoder.
+
+    The sequential search of :meth:`RatelessSession.run` is implemented on
+    top of this class (send → deliver → check budget), so the single-packet
+    and windowed multi-packet paths share one code path and remain
+    bit-identical where they overlap.
+    """
+
+    def __init__(
+        self,
+        session: "RatelessSession",
+        payload: np.ndarray,
+        rng: np.random.Generator,
+        framed: np.ndarray | None = None,
+    ) -> None:
+        self.session = session
+        self.payload = np.asarray(payload, dtype=np.uint8)
+        self.framed = session.framer.frame(self.payload) if framed is None else framed
+        self.rng = rng
+        self._stream = session.encoder.symbol_stream(self.framed)
+        decoder = session.decoder_factory(session.encoder)
+        self.receiver = RatelessReceiver(
+            decoder, session.framer, session.termination, true_framed_bits=self.framed
+        )
+        #: Channel uses spent by the sender on this packet (including any
+        #: blocks the receiver discarded).
+        self.symbols_sent = 0
+        #: Channel uses actually delivered to this packet's receiver.
+        self.symbols_delivered = 0
+        self.decoded = False
+
+    @property
+    def exhausted(self) -> bool:
+        """Whether the sender's per-packet symbol budget is spent."""
+        return self.symbols_sent >= self.session.max_symbols
+
+    def send_next_block(self) -> tuple[SubpassBlock, np.ndarray]:
+        """Transmit the next subpass through the session's channel.
+
+        Returns the transmitted block and the received values.  Noise draws
+        come from this packet's private generator, so per-packet results are
+        independent of how transmissions are interleaved (over memoryless
+        channels).
+        """
+        block = next(self._stream)
+        received = self.session.channel.transmit(block.values, self.rng)
+        self.symbols_sent += block.n_symbols
+        return block, received
+
+    def deliver(self, block: SubpassBlock, received_values: np.ndarray) -> bool:
+        """Feed one received block to the receiver; return True once decoded."""
+        if self.decoded:
+            return True
+        self.receiver.receive(block, received_values)
+        self.symbols_delivered += block.n_symbols
+        if self.receiver.try_decode():
+            self.decoded = True
+        return self.decoded
+
+    def best_effort_decode(self) -> None:
+        """Force one decode so a failed packet still reports a best guess."""
+        if self.receiver.last_result is None:
+            self.receiver.decode_now()
+
+    def decoded_payload(self) -> np.ndarray:
+        return self.receiver.decoded_payload()
+
+
 class RatelessSession:
     """Simulates complete rateless transmissions of framed payloads.
 
@@ -245,30 +331,37 @@ class RatelessSession:
             return self._run_sequential(payload, framed, rng)
         return self._run_bisect(payload, framed, rng)
 
+    def open_transmission(
+        self, payload: np.ndarray, rng: np.random.Generator
+    ) -> PacketTransmission:
+        """Start a pausable per-packet transmission (used by the transport).
+
+        Unlike :meth:`run`, this does *not* reset the channel: the caller
+        owns the channel lifecycle because many transmissions may share one
+        channel concurrently (the link transport resets it once per
+        simulation).
+        """
+        return PacketTransmission(self, np.asarray(payload, dtype=np.uint8), rng)
+
     # -- sequential: the on-line receiver ------------------------------------
     def _run_sequential(
         self, payload: np.ndarray, framed: np.ndarray, rng: np.random.Generator
     ) -> TrialResult:
-        decoder = self.decoder_factory(self.encoder)
-        receiver = RatelessReceiver(
-            decoder, self.framer, self.termination, true_framed_bits=framed
-        )
-        symbols_sent = 0
-        stream = self.encoder.symbol_stream(framed)
-        for block in stream:
-            received = self.channel.transmit(block.values, rng)
-            receiver.receive(block, received)
-            symbols_sent += block.n_symbols
-            if receiver.try_decode():
-                return self._result(receiver, payload, symbols_sent, success=True)
-            if symbols_sent >= self.max_symbols:
-                if receiver.last_result is None:
-                    # The budget ran out before the symbol threshold allowed
-                    # any attempt; decode once so the trial still reports a
-                    # best guess.
-                    receiver.decode_now()
-                return self._result(receiver, payload, symbols_sent, success=False)
-        raise RuntimeError("symbol stream terminated unexpectedly")  # pragma: no cover
+        transmission = PacketTransmission(self, payload, rng, framed=framed)
+        while True:
+            block, received = transmission.send_next_block()
+            if transmission.deliver(block, received):
+                return self._result(
+                    transmission.receiver, payload, transmission.symbols_sent, success=True
+                )
+            if transmission.exhausted:
+                # The budget ran out; if the symbol threshold never allowed
+                # an attempt, decode once so the trial still reports a best
+                # guess.
+                transmission.best_effort_decode()
+                return self._result(
+                    transmission.receiver, payload, transmission.symbols_sent, success=False
+                )
 
     # -- bisect: lazy transmission plus galloping + binary search --------------
     def _run_bisect(

@@ -17,6 +17,8 @@ Each module corresponds to one experiment of the index in DESIGN.md:
 * :mod:`repro.experiments.constellation_maps` — E11 (linear vs Gaussian map);
 * :mod:`repro.experiments.ldpc_ablation` — E12 (BP iterations);
 * :mod:`repro.experiments.feedback` — E13 (feedback overhead);
+* :mod:`repro.experiments.transport_sweep` — E15 (measured ARQ/relay
+  transport goodput: protocol x window x feedback RTT x hop count);
 
 The benchmark modules under ``benchmarks/`` are thin wrappers that call into
 this package and print the resulting tables.
@@ -30,6 +32,12 @@ from repro.experiments.runner import (
     run_spinal_curve,
     run_spinal_point,
 )
+from repro.experiments.transport_sweep import (
+    TransportSweepConfig,
+    TransportSweepRow,
+    run_transport_sweep,
+    transport_sweep_table,
+)
 
 __all__ = [
     "SpinalRunConfig",
@@ -38,4 +46,8 @@ __all__ = [
     "run_spinal_curve",
     "run_spinal_bsc_point",
     "run_spinal_bsc_curve",
+    "TransportSweepConfig",
+    "TransportSweepRow",
+    "run_transport_sweep",
+    "transport_sweep_table",
 ]

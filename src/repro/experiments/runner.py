@@ -27,8 +27,8 @@ Two performance knobs, both result-preserving:
 from __future__ import annotations
 
 import math
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field, replace
+from functools import partial
 
 from repro.channels.awgn import AWGNChannel
 from repro.channels.base import Channel
@@ -49,6 +49,7 @@ from repro.core.puncturing import (
 from repro.core.rateless import RatelessSession
 from repro.theory.capacity import awgn_capacity_db, bsc_capacity
 from repro.utils.bitops import random_message_bits
+from repro.utils.parallel import stride_map
 from repro.utils.results import RateMeasurement, SweepResult
 from repro.utils.rng import spawn_rng
 
@@ -151,6 +152,34 @@ class SpinalRunConfig:
 
         return factory
 
+    def build_session(
+        self,
+        channel: Channel,
+        max_symbols: int | None = None,
+        search: str | None = None,
+    ) -> RatelessSession:
+        """Assemble the complete rateless session for one channel.
+
+        The single place session wiring happens, shared by the Monte-Carlo
+        trial runner and the relay-topology builder so the two cannot
+        drift.  ``max_symbols`` defaults to the config's value (or 4096 if
+        unset — callers wanting the adaptive budget pass
+        :meth:`symbol_budget` explicitly); ``search`` defaults to the
+        config's strategy.
+        """
+        if max_symbols is None:
+            max_symbols = self.max_symbols if self.max_symbols is not None else 4096
+        return RatelessSession(
+            self.build_encoder(),
+            decoder_factory=self.decoder_factory(),
+            channel=channel,
+            framer=self.build_framer(),
+            termination=self.termination,
+            max_symbols=max_symbols,
+            search=search if search is not None else self.search,
+            count_overhead=self.count_overhead,
+        )
+
     def symbol_budget(self, ideal_rate: float) -> int:
         """Adaptive per-trial symbol budget given an ideal achievable rate."""
         if self.max_symbols is not None:
@@ -168,30 +197,21 @@ def _trial_batch(
     channel: Channel,
     max_symbols: int,
     label: float | None,
-    trials: list[int],
-) -> list[tuple[int, float, int, bool]]:
+    batch: list[tuple[int, int]],
+) -> list[tuple[int, tuple[float, int, bool]]]:
     """Run a batch of trials; the worker entry point of the parallel runner.
 
     A top-level function so it pickles under any multiprocessing start
     method.  Each trial spawns its generator from the trial index alone, so
     the outcome is independent of how trials are batched across workers.
     """
-    session = RatelessSession(
-        config.build_encoder(),
-        decoder_factory=config.decoder_factory(),
-        channel=channel,
-        framer=config.build_framer(),
-        termination=config.termination,
-        max_symbols=max_symbols,
-        search=config.search,
-        count_overhead=config.count_overhead,
-    )
+    session = config.build_session(channel, max_symbols)
     outcomes = []
-    for trial in trials:
+    for index, trial in batch:
         rng = spawn_rng(config.seed, "trial", label, trial)
         payload = random_message_bits(config.payload_bits, rng)
         result = session.run(payload, rng)
-        outcomes.append((trial, result.rate, result.symbols_sent, result.payload_correct))
+        outcomes.append((index, (result.rate, result.symbols_sent, result.payload_correct)))
     return outcomes
 
 
@@ -205,24 +225,13 @@ def _run_point(
     """Run ``config.n_trials`` independent trials over one channel instance."""
     label = snr_db if snr_db is not None else param
     max_symbols = config.symbol_budget(ideal_rate)
-    trials = list(range(config.n_trials))
-    n_workers = min(config.n_workers, config.n_trials)
-    if n_workers > 1:
-        # Round-robin batching: adjacent trial indices have similar expected
-        # cost, so striding balances the load; outcomes are re-sorted by
-        # trial index so the measurement is identical to the serial run.
-        batches = [trials[start::n_workers] for start in range(n_workers)]
-        with ProcessPoolExecutor(max_workers=n_workers) as pool:
-            futures = [
-                pool.submit(_trial_batch, config, channel, max_symbols, label, batch)
-                for batch in batches
-            ]
-            outcomes = [row for future in futures for row in future.result()]
-        outcomes.sort(key=lambda row: row[0])
-    else:
-        outcomes = _trial_batch(config, channel, max_symbols, label, trials)
+    outcomes = stride_map(
+        partial(_trial_batch, config, channel, max_symbols, label),
+        list(range(config.n_trials)),
+        config.n_workers,
+    )
     measurement = RateMeasurement(snr_db=snr_db, param=param)
-    for _, rate, symbols, ok in outcomes:
+    for rate, symbols, ok in outcomes:
         measurement.add_trial(rate, symbols, ok)
     return measurement
 

@@ -3,16 +3,23 @@
 The paper's evaluation assumes "the receiver informs the sender as soon as it
 is able to fully decode the data", and lists "developing a feedback
 link-layer protocol for rateless spinal codes" as future work (Section 6).
-This package models that feedback explicitly so the cost of realistic
-signalling can be quantified (experiment E13):
+This package models that feedback at two levels of fidelity:
 
-* :mod:`repro.link.feedback` — feedback models (perfect, delayed, per-block)
-  that convert the number of symbols a decoder *needed* into the number the
-  sender actually *transmits*;
+* :mod:`repro.link.feedback` — closed-form feedback models (perfect,
+  delayed, per-block) that convert the number of symbols a decoder *needed*
+  into the number the sender actually *transmits*;
 * :mod:`repro.link.session` — packet-level throughput/latency accounting for
-  a stream of rateless transmissions under a feedback model.
+  a stream of rateless transmissions under a feedback model;
+* :mod:`repro.link.events` — the deterministic discrete-event scheduler
+  (symbol-time clock) underlying the transport simulator;
+* :mod:`repro.link.transport` — a simulated sliding-window ARQ protocol
+  (go-back-N / selective-repeat, lossy delayed ACKs) whose feedback
+  overhead is *measured* from protocol dynamics instead of assumed;
+* :mod:`repro.link.topology` — multi-hop decode-and-forward relay chains,
+  each hop re-encoding with a fresh hash seed on its own channel.
 """
 
+from repro.link.events import EventScheduler
 from repro.link.feedback import (
     BlockFeedback,
     DelayedFeedback,
@@ -20,6 +27,18 @@ from repro.link.feedback import (
     PerfectFeedback,
 )
 from repro.link.session import LinkSessionResult, deliver_packets, simulate_link_session
+from repro.link.topology import (
+    RelayTransportResult,
+    build_relay_sessions,
+    relay_hop_params,
+    simulate_relay_transport,
+)
+from repro.link.transport import (
+    HopTransport,
+    TransportConfig,
+    TransportResult,
+    run_link_transport,
+)
 
 __all__ = [
     "FeedbackModel",
@@ -29,4 +48,13 @@ __all__ = [
     "simulate_link_session",
     "deliver_packets",
     "LinkSessionResult",
+    "EventScheduler",
+    "TransportConfig",
+    "TransportResult",
+    "HopTransport",
+    "run_link_transport",
+    "RelayTransportResult",
+    "build_relay_sessions",
+    "relay_hop_params",
+    "simulate_relay_transport",
 ]

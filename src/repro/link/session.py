@@ -39,10 +39,15 @@ class LinkSessionResult:
 
     @property
     def throughput_bits_per_symbol(self) -> float:
-        """Delivered payload bits per channel use, including feedback overhead."""
+        """Delivered payload bits per channel use, including feedback overhead.
+
+        An empty packet sequence spends nothing and delivers nothing; its
+        throughput is defined as 0.0 (rather than raising), so aggregation
+        code can fold in idle links without special-casing them.
+        """
         total_spent = float(self.symbols_spent.sum())
         if total_spent == 0:
-            raise ValueError("no symbols spent; throughput undefined")
+            return 0.0
         return self.total_payload_bits / total_spent
 
     @property
@@ -50,17 +55,26 @@ class LinkSessionResult:
         """Throughput with perfect feedback (the paper's assumption)."""
         total_needed = float(self.symbols_needed.sum())
         if total_needed == 0:
-            raise ValueError("no symbols needed; throughput undefined")
+            return 0.0
         return self.total_payload_bits / total_needed
 
     @property
     def feedback_efficiency(self) -> float:
-        """Fraction of the ideal throughput retained under the feedback model."""
-        return self.throughput_bits_per_symbol / self.ideal_throughput_bits_per_symbol
+        """Fraction of the ideal throughput retained under the feedback model.
+
+        Vacuously 1.0 for an empty packet sequence (no symbols were needed
+        and none were spent).
+        """
+        ideal = self.ideal_throughput_bits_per_symbol
+        if ideal == 0:
+            return 1.0
+        return self.throughput_bits_per_symbol / ideal
 
     @property
     def mean_packet_symbols(self) -> float:
         """Mean channel uses per packet including overhead (a latency proxy)."""
+        if self.symbols_spent.size == 0:
+            return 0.0
         return float(self.symbols_spent.mean())
 
 
@@ -69,10 +83,13 @@ def simulate_link_session(
     payload_bits_per_packet: int,
     feedback: FeedbackModel,
 ) -> LinkSessionResult:
-    """Apply a feedback model to a sequence of per-packet symbol requirements."""
+    """Apply a feedback model to a sequence of per-packet symbol requirements.
+
+    An empty sequence is valid and yields a zero-packet result whose
+    throughput properties are all well-defined (zero throughput, vacuously
+    perfect efficiency).
+    """
     needed = np.asarray(list(symbols_needed_per_packet), dtype=np.int64)
-    if needed.size == 0:
-        raise ValueError("at least one packet is required")
     if np.any(needed <= 0):
         raise ValueError("symbols_needed_per_packet must be positive")
     if payload_bits_per_packet <= 0:
@@ -102,10 +119,9 @@ def deliver_packets(
     to the measured symbol requirements.  Returns the link-level accounting
     together with the underlying per-packet trial results, whose
     ``candidates_explored`` totals expose the decoder work the engine choice
-    saved.
+    saved.  An empty payload sequence yields an empty (zero-throughput)
+    result and no trials.
     """
-    if len(payloads) == 0:
-        raise ValueError("at least one packet is required")
     trials = [session.run(payload, rng) for payload in payloads]
     link_result = simulate_link_session(
         [trial.symbols_sent for trial in trials],

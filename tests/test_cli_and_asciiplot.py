@@ -57,6 +57,14 @@ class TestParser:
         assert args.rate == "3/4"
         assert args.modulation == "QAM-64"
 
+    def test_transport_command_defaults(self):
+        args = build_parser().parse_args(["transport"])
+        assert args.command == "transport"
+        assert args.protocol == "both"
+        assert args.window == [1, 2, 4]
+        assert args.hops == [1, 2]
+        assert args.ack_delay == [0, 8, 32]
+
     def test_requires_subcommand(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
@@ -131,3 +139,17 @@ class TestMainEndToEnd:
             ]
         )
         assert "achieved rate" in output
+
+    def test_transport(self):
+        base = [
+            "transport",
+            "--snr", "10", "--payload-bits", "16", "--k", "4", "--c", "6",
+            "--beam-width", "8", "--packets", "3", "--max-symbols", "512",
+            "--hops", "1", "2", "--window", "1", "2", "--ack-delay", "0", "6",
+            "--protocol", "selective-repeat", "--plot",
+        ]
+        output = main(base)
+        assert "goodput" in output and "selective-repeat" in output
+        assert "window size" in output  # the ASCII chart axis label
+        # Workers are a wall-clock knob only: rendered output is identical.
+        assert main(base + ["--workers", "2"]) == output

@@ -90,11 +90,21 @@ class TestLinkSession:
 
     def test_validation(self):
         with pytest.raises(ValueError):
-            simulate_link_session([], 24, PerfectFeedback())
-        with pytest.raises(ValueError):
             simulate_link_session([0], 24, PerfectFeedback())
         with pytest.raises(ValueError):
             simulate_link_session([4], 0, PerfectFeedback())
+
+    def test_empty_sequence_is_well_defined(self):
+        # Regression: this used to raise "no symbols spent; throughput
+        # undefined" from throughput_bits_per_symbol.  An idle link is a
+        # valid zero-throughput result.
+        result = simulate_link_session([], 24, PerfectFeedback())
+        assert result.n_packets == 0
+        assert result.total_payload_bits == 0
+        assert result.throughput_bits_per_symbol == 0.0
+        assert result.ideal_throughput_bits_per_symbol == 0.0
+        assert result.feedback_efficiency == 1.0
+        assert result.mean_packet_symbols == 0.0
 
 
 class TestDeliverPackets:
@@ -139,7 +149,11 @@ class TestDeliverPackets:
         assert outcomes["fresh"][1] == outcomes["incremental"][1]
         assert outcomes["incremental"][2] < outcomes["fresh"][2]
 
-    def test_requires_packets(self):
+    def test_empty_payload_sequence(self):
         session = self._session(IncrementalBubbleDecoder)
-        with pytest.raises(ValueError):
-            deliver_packets(session, [], spawn_rng(5, "empty"), PerfectFeedback())
+        link_result, trials = deliver_packets(
+            session, [], spawn_rng(5, "empty"), PerfectFeedback()
+        )
+        assert trials == []
+        assert link_result.n_packets == 0
+        assert link_result.throughput_bits_per_symbol == 0.0
