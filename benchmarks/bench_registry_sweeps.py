@@ -1,0 +1,79 @@
+"""Registry engine benchmarks: sweep throughput and cache-resume latency.
+
+Two performance properties of the unified experiment engine are worth
+guarding:
+
+* a registry-driven sweep costs essentially what its kernels cost — the
+  declarative layer (grid expansion, seeding, aggregation, persistence)
+  adds only noise on top of the Monte-Carlo work;
+* resuming a persisted spec is *fast*: a cache-hit re-run performs zero
+  kernel work, so it must complete orders of magnitude faster than the
+  compute pass and return an identical record.
+"""
+
+from __future__ import annotations
+
+from _bench_utils import bench_trials, bench_workers
+
+from repro.experiments import registry
+from repro.experiments.registry import run_experiment
+from repro.utils.store import RunStore
+
+#: The compute-pass configuration: a real (non-smoke) puncturing sweep,
+#: scaled by the usual fidelity knobs.
+_OVERRIDES = {
+    "schedule": ("none", "tail-first"),
+    "snr_db": (20.0, 30.0),
+    "payload_bits": 16,
+    "k": 4,
+    "c": 6,
+    "beam_width": 8,
+}
+
+
+def test_registry_sweep_compute(benchmark, reporter, tmp_path):
+    """Cold sweep through the engine: expand, fan out, aggregate, persist."""
+    experiment = registry.get("puncturing")
+    n_trials = bench_trials(10)
+
+    def _run():
+        return run_experiment(
+            experiment,
+            overrides=_OVERRIDES,
+            n_trials=n_trials,
+            n_workers=bench_workers(),
+            store=RunStore(tmp_path / "cold"),
+        )
+
+    outcome = benchmark.pedantic(_run, rounds=1, iterations=1)
+    assert outcome.n_cells_computed == 4
+    reporter.add(
+        "Registry engine — cold puncturing sweep (4 cells, persisted)",
+        outcome.table(),
+    )
+
+
+def test_registry_cache_resume(benchmark, reporter, tmp_path):
+    """Warm re-run of a persisted spec: all cells from cache, no kernels."""
+    experiment = registry.get("puncturing")
+    n_trials = bench_trials(10)
+    store = RunStore(tmp_path / "warm")
+
+    def _setup():
+        run_experiment(
+            experiment, overrides=_OVERRIDES, n_trials=n_trials, store=store
+        )
+        return (), {}
+
+    def _resume():
+        return run_experiment(
+            experiment, overrides=_OVERRIDES, n_trials=n_trials, store=store
+        )
+
+    outcome = benchmark.pedantic(_resume, setup=_setup, rounds=3, iterations=1)
+    assert outcome.n_cells_computed == 0
+    assert outcome.n_cells_cached == 4
+    reporter.add(
+        "Registry engine — warm resume of the same spec (0 cells recomputed)",
+        f"cache-resume wall time: {benchmark.stats['mean'] * 1e3:.2f} ms (mean of 3)",
+    )

@@ -1,50 +1,52 @@
-"""Command-line interface for quick measurements without writing a script.
+"""Command-line interface over the unified experiment registry.
 
-Installed (or run via ``python -m repro.cli``) it exposes the most common
-operations:
+The registry commands work for *every* experiment in
+``repro.experiments`` (see ``repro list``):
+
+* ``list``   — enumerate registered experiments (``--markdown`` emits the
+  README catalog table);
+* ``run``    — run one experiment (or ``--all``) with declarative axis
+  overrides (``--set axis=v1,v2``), process fan-out (``--workers/-j``), and
+  persistence to a JSON results store (``--out``, default ``results/``);
+  re-running a spec resumes from its cached cells, ``--smoke`` shrinks every
+  experiment to a seconds-scale configuration;
+* ``report`` — re-render the table (and ``--plot`` chart) of a persisted
+  run file without recomputing anything.
+
+The historical commands remain as thin back-compat aliases over the same
+registry:
 
 * ``rate``      — measure the spinal rate at one or more AWGN SNRs;
 * ``bsc``       — measure the bit-mode spinal rate at one or more crossover
   probabilities;
 * ``figure2``   — regenerate a coarse Figure 2 (spinal + bounds, optional LDPC);
 * ``ldpc``      — measure one fixed-rate LDPC configuration across SNRs;
-* ``transport`` — simulate the sliding-window ARQ transport (go-back-N /
-  selective-repeat, lossy delayed ACKs, multi-hop decode-and-forward relay)
-  and report measured goodput over the protocol grid.
+* ``transport`` — simulate the sliding-window ARQ transport and report
+  measured goodput over the protocol grid.
 
 Every command prints a plain-text table (and optionally an ASCII chart), so
 the CLI is usable over ssh on a machine with nothing but this package and
-numpy/scipy installed.
-
-The spinal commands accept ``--workers/-j N`` to fan Monte-Carlo trials out
-over worker processes (per-trial seeding makes the results identical for any
-worker count) and ``--decoder {incremental,bubble}`` to pick between the
-stateful incremental decoding engine (default) and the from-scratch
-reference decoder.
+numpy/scipy installed.  ``--workers/-j N`` fans Monte-Carlo work out over
+worker processes with per-unit seeding, so results are identical for any
+worker count.
 """
 
 from __future__ import annotations
 
 import argparse
-from fractions import Fraction
 
-from repro.baselines.ldpc_system import FixedRateLdpcSystem, LdpcConfig
-from repro.core.params import SpinalParams
+from repro.experiments import registry
 from repro.experiments.figure2 import figure2_table
-from repro.experiments.runner import (
-    SpinalRunConfig,
-    run_spinal_bsc_curve,
-    run_spinal_curve,
-)
+from repro.experiments.registry import render_run, render_run_plot, run_experiment
 from repro.experiments.transport_sweep import (
     TransportSweepConfig,
     run_transport_sweep,
     transport_sweep_table,
 )
-from repro.theory.capacity import awgn_capacity_db, bsc_capacity
+from repro.core.params import SpinalParams
 from repro.utils.asciiplot import ascii_plot
 from repro.utils.results import render_table
-from repro.utils.rng import spawn_rng
+from repro.utils.store import RunStore, read_run
 
 __all__ = ["build_parser", "main"]
 
@@ -91,6 +93,54 @@ def build_parser() -> argparse.ArgumentParser:
         description="Rateless spinal codes (HotNets 2011) — measurement CLI",
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
+
+    list_parser = subparsers.add_parser(
+        "list", help="enumerate the registered experiments"
+    )
+    list_parser.add_argument(
+        "--markdown", action="store_true", help="emit the README catalog table"
+    )
+
+    run = subparsers.add_parser(
+        "run", help="run a registered experiment with persisted, resumable results"
+    )
+    run.add_argument("name", nargs="?", help="experiment name (see `repro list`)")
+    run.add_argument("--all", action="store_true", help="run every registered experiment")
+    run.add_argument(
+        "--set",
+        dest="sets",
+        action="append",
+        default=[],
+        metavar="NAME=V1[,V2...]",
+        help="override an axis's values or a fixed parameter (repeatable)",
+    )
+    run.add_argument("--trials", type=int, default=None, help="trials per grid cell")
+    run.add_argument("--seed", type=int, default=None, help="base random seed")
+    run.add_argument(
+        "--workers",
+        "-j",
+        type=int,
+        default=1,
+        help="worker processes (results are identical for any count)",
+    )
+    run.add_argument(
+        "--out", default="results", help="results-store directory (default: results/)"
+    )
+    run.add_argument(
+        "--no-save", action="store_true", help="do not persist (disables resume)"
+    )
+    run.add_argument(
+        "--smoke",
+        action="store_true",
+        help="shrink to the experiment's seconds-scale smoke configuration",
+    )
+    run.add_argument("--plot", action="store_true", help="also print an ASCII chart")
+
+    report = subparsers.add_parser(
+        "report", help="re-render a persisted run file without recomputation"
+    )
+    report.add_argument("run_file", help="path to a results-store JSON file")
+    report.add_argument("--plot", action="store_true", help="also print an ASCII chart")
 
     rate = subparsers.add_parser("rate", help="spinal rate over AWGN at given SNRs")
     rate.add_argument("snrs", type=float, nargs="+", help="SNR values in dB")
@@ -173,26 +223,147 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _spinal_config(args: argparse.Namespace, bit_mode: bool) -> SpinalRunConfig:
-    params = SpinalParams(k=args.k, c=args.c if not bit_mode else 10, bit_mode=bit_mode)
-    return SpinalRunConfig(
-        payload_bits=args.payload_bits,
-        params=params,
-        beam_width=args.beam_width,
-        puncturing=args.puncturing,
-        n_trials=args.trials,
-        seed=args.seed,
-        decoder=args.decoder,
-        n_workers=args.workers,
+# -- registry commands --------------------------------------------------------
+
+
+def _parse_scalar(current, text: str):
+    """Parse one override token using the current value as the type witness."""
+    if text.lower() in ("none", "null"):
+        return None
+    if isinstance(current, bool):
+        return text.lower() in ("1", "true", "yes")
+    if isinstance(current, int):
+        return int(text)
+    if isinstance(current, float):
+        return float(text)
+    if current is None:
+        for cast in (int, float):
+            try:
+                return cast(text)
+            except ValueError:
+                continue
+        return text
+    return text
+
+
+def _parse_overrides(experiment: registry.Experiment, tokens: list[str]) -> dict:
+    """Translate ``--set name=v1,v2`` tokens into engine overrides."""
+    overrides: dict = {}
+    spec = experiment.spec
+    for token in tokens:
+        name, separator, text = token.partition("=")
+        if not separator:
+            raise ValueError(f"--set expects NAME=VALUES, got {token!r}")
+        if name in spec.axis_names:
+            axis = spec.axis(name)
+            overrides[name] = tuple(axis.parse(part) for part in text.split(","))
+        elif name in spec.fixed:
+            current = spec.fixed[name]
+            if isinstance(current, (list, tuple)):
+                witness = current[0] if current else None
+                overrides[name] = tuple(
+                    _parse_scalar(witness, part) for part in text.split(",")
+                )
+            else:
+                overrides[name] = _parse_scalar(current, text)
+        elif name in ("n_trials", "seed"):
+            overrides[name] = int(text)
+        else:
+            raise ValueError(
+                f"unknown parameter {name!r} for experiment {experiment.name!r}; "
+                f"valid: {sorted(spec.known_names)}"
+            )
+    return overrides
+
+
+def _command_list(args: argparse.Namespace) -> str:
+    registry.load_all()
+    return registry.catalog_markdown() if args.markdown else registry.catalog()
+
+
+def _command_run(args: argparse.Namespace) -> str:
+    registry.load_all()
+    if args.all == bool(args.name):
+        raise ValueError("run expects exactly one of <name> or --all")
+    if args.all and args.sets:
+        raise ValueError("--set cannot be combined with --all")
+    chosen = registry.names() if args.all else [args.name]
+    store = None if args.no_save else RunStore(args.out)
+    pieces = []
+    for name in chosen:
+        experiment = registry.get(name)
+        outcome = run_experiment(
+            experiment,
+            overrides=_parse_overrides(experiment, args.sets),
+            n_workers=args.workers,
+            n_trials=args.trials,
+            seed=args.seed,
+            store=store,
+            smoke=args.smoke,
+        )
+        text = f"== {name}: {experiment.description}\n\n" + outcome.table()
+        if args.plot:
+            chart = render_run_plot(experiment, outcome.record)
+            if chart:
+                text += "\n\n" + chart
+        if outcome.path is not None:
+            text += (
+                f"\n\nsaved: {outcome.path} "
+                f"({outcome.n_cells_computed} cells computed, "
+                f"{outcome.n_cells_cached} from cache)"
+            )
+        pieces.append(text)
+    return "\n\n".join(pieces)
+
+
+def _command_report(args: argparse.Namespace) -> str:
+    registry.load_all()
+    record = read_run(args.run_file)
+    experiment = registry.get(record["experiment"])
+    header = (
+        f"{record['experiment']}: {record.get('description', experiment.description)}\n"
+        f"spec hash {record['spec_hash']} · seed {record['seed']} · "
+        f"{record['n_trials']} trials/cell\n\n"
     )
+    text = header + render_run(experiment, record)
+    if args.plot:
+        chart = render_run_plot(experiment, record)
+        if chart:
+            text += "\n\n" + chart
+    return text
+
+
+# -- back-compat aliases ------------------------------------------------------
+
+
+def _spinal_overrides_from_args(args: argparse.Namespace, bit_mode: bool) -> dict:
+    overrides = {
+        "payload_bits": args.payload_bits,
+        "k": args.k,
+        "beam_width": args.beam_width,
+        "puncturing": args.puncturing,
+        "decoder": args.decoder,
+    }
+    if not bit_mode:
+        overrides["c"] = args.c
+    return overrides
 
 
 def _command_rate(args: argparse.Namespace) -> str:
-    config = _spinal_config(args, bit_mode=False)
-    sweep = run_spinal_curve(config, args.snrs)
+    outcome = run_experiment(
+        registry.get("rate"),
+        overrides={
+            **_spinal_overrides_from_args(args, bit_mode=False),
+            "snr_db": tuple(float(s) for s in args.snrs),
+        },
+        n_trials=args.trials,
+        seed=args.seed,
+        n_workers=args.workers,
+    )
     rows = [
-        (snr, awgn_capacity_db(snr), point.mean_rate, point.rate_std_error)
-        for snr, point in zip(args.snrs, sweep.points)
+        (params["snr_db"], agg["capacity"], agg["rate"], agg["rate_stderr"])
+        for _key, params, cell in outcome.successful_cells()
+        for agg in (cell["aggregate"],)
     ]
     output = render_table(["SNR(dB)", "capacity", "rate (b/sym)", "stderr"], rows)
     if args.plot and len(args.snrs) >= 2:
@@ -206,11 +377,20 @@ def _command_rate(args: argparse.Namespace) -> str:
 
 
 def _command_bsc(args: argparse.Namespace) -> str:
-    config = _spinal_config(args, bit_mode=True)
-    sweep = run_spinal_bsc_curve(config, args.crossovers)
+    outcome = run_experiment(
+        registry.get("bsc"),
+        overrides={
+            **_spinal_overrides_from_args(args, bit_mode=True),
+            "p": tuple(float(p) for p in args.crossovers),
+        },
+        n_trials=args.trials,
+        seed=args.seed,
+        n_workers=args.workers,
+    )
     rows = [
-        (p, bsc_capacity(p), point.mean_rate, point.rate_std_error)
-        for p, point in zip(args.crossovers, sweep.points)
+        (params["p"], agg["capacity"], agg["rate"], agg["rate_stderr"])
+        for _key, params, cell in outcome.successful_cells()
+        for agg in (cell["aggregate"],)
     ]
     output = render_table(["p", "capacity", "rate (b/bit)", "stderr"], rows)
     if args.plot and len(args.crossovers) >= 2:
@@ -224,6 +404,8 @@ def _command_bsc(args: argparse.Namespace) -> str:
 
 
 def _command_figure2(args: argparse.Namespace) -> str:
+    from repro.experiments.runner import SpinalRunConfig
+
     snrs = []
     snr = args.snr_min
     while snr <= args.snr_max + 1e-9:
@@ -299,13 +481,22 @@ def _command_transport(args: argparse.Namespace) -> str:
 
 
 def _command_ldpc(args: argparse.Namespace) -> str:
-    config = LdpcConfig(Fraction(args.rate), args.modulation)
-    system = FixedRateLdpcSystem(config, max_iterations=args.iterations)
-    rows = []
-    for snr in args.snrs:
-        rng = spawn_rng(args.seed, "cli-ldpc", snr)
-        fer = system.frame_error_rate(snr, args.frames, rng)
-        rows.append((snr, system.nominal_rate, fer, system.nominal_rate * (1 - fer)))
+    outcome = run_experiment(
+        registry.get("ldpc-rate"),
+        overrides={
+            "snr_db": tuple(float(s) for s in args.snrs),
+            "rate": args.rate,
+            "modulation": args.modulation,
+            "frames": args.frames,
+            "iterations": args.iterations,
+        },
+        seed=args.seed,
+    )
+    rows = [
+        (params["snr_db"], agg["nominal_rate"], agg["fer"], agg["achieved_rate"])
+        for _key, params, cell in outcome.successful_cells()
+        for agg in (cell["aggregate"],)
+    ]
     return render_table(
         ["SNR(dB)", "nominal rate", "FER", "achieved rate"], rows
     )
@@ -316,6 +507,9 @@ def main(argv: list[str] | None = None) -> str:
     parser = build_parser()
     args = parser.parse_args(argv)
     commands = {
+        "list": _command_list,
+        "run": _command_run,
+        "report": _command_report,
         "rate": _command_rate,
         "bsc": _command_bsc,
         "figure2": _command_figure2,

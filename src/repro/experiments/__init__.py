@@ -1,29 +1,51 @@
 """Experiment harness: everything needed to regenerate the paper's results.
 
-Each module corresponds to one experiment of the index in DESIGN.md:
+All experiments are registered in a single declarative registry
+(:mod:`repro.experiments.registry`): each module defines an
+:class:`~repro.experiments.registry.Experiment` — a typed
+:class:`~repro.experiments.spec.SweepSpec` plus a pure
+``run_point(params, rng)`` kernel — and one engine provides grid expansion,
+process fan-out of points and trials (worker-count-invariant seeding),
+persistence to a content-hash-keyed JSON store with cell-level resume, and
+declarative table/plot rendering.  ``repro list`` enumerates them,
+``repro run <name>`` executes them, ``repro report <run.json>`` re-renders
+persisted runs.
 
-* :mod:`repro.experiments.runner` — shared Monte-Carlo machinery for
-  measuring spinal-code rates over AWGN and BSC channels;
-* :mod:`repro.experiments.figure2` — Figure 2 (rate vs SNR: spinal, Shannon
-  bound, finite-blocklength bound, eight LDPC configurations) and the E2
-  crossover claim;
-* :mod:`repro.experiments.theorems` — E3/E4 (Theorem 1 gap, Theorem 2 BSC);
-* :mod:`repro.experiments.scale_down` — E5 (rate vs beam width B);
-* :mod:`repro.experiments.k_sweep` — E6 (segment size k);
-* :mod:`repro.experiments.puncturing` — E7 (rates above k bits/symbol);
-* :mod:`repro.experiments.distance` — E8 (nonlinearity / distance profile);
-* :mod:`repro.experiments.blocklength` — E9 (other message lengths);
-* :mod:`repro.experiments.quantization` — E10 (ADC precision);
-* :mod:`repro.experiments.constellation_maps` — E11 (linear vs Gaussian map);
-* :mod:`repro.experiments.ldpc_ablation` — E12 (BP iterations);
-* :mod:`repro.experiments.feedback` — E13 (feedback overhead);
-* :mod:`repro.experiments.transport_sweep` — E15 (measured ARQ/relay
-  transport goodput: protocol x window x feedback RTT x hop count);
+Module index (legacy wrapper functions kept for scripting):
+
+* :mod:`repro.experiments.runner` — shared Monte-Carlo machinery plus the
+  ``rate``/``bsc`` experiments;
+* :mod:`repro.experiments.figure2` — ``figure2`` (rate vs SNR with bounds)
+  and the E2 crossover claim;
+* :mod:`repro.experiments.theorems` — ``theorem1-gap`` / ``theorem2-bsc``;
+* :mod:`repro.experiments.scale_down` — ``scale-down`` (rate vs beam width);
+* :mod:`repro.experiments.k_sweep` — ``k-sweep`` (segment size k);
+* :mod:`repro.experiments.puncturing` — ``puncturing`` (rates above k);
+* :mod:`repro.experiments.distance` — ``distance`` (nonlinearity profile);
+* :mod:`repro.experiments.blocklength` — ``blocklength`` (message lengths);
+* :mod:`repro.experiments.quantization` — ``quantization`` (ADC precision);
+* :mod:`repro.experiments.constellation_maps` — ``constellation-maps``;
+* :mod:`repro.experiments.ldpc_ablation` — ``ldpc-ablation`` /
+  ``ldpc-rate``;
+* :mod:`repro.experiments.feedback` — ``feedback`` (feedback overhead);
+* :mod:`repro.experiments.fixed_vs_rateless` — ``fixed-vs-rateless``;
+* :mod:`repro.experiments.transport_sweep` — ``transport`` (measured
+  ARQ/relay goodput).
 
 The benchmark modules under ``benchmarks/`` are thin wrappers that call into
 this package and print the resulting tables.
 """
 
+from repro.experiments.registry import (
+    Experiment,
+    RunOutcome,
+    all_experiments,
+    get,
+    load_all,
+    names,
+    register,
+    run_experiment,
+)
 from repro.experiments.runner import (
     SpinalRunConfig,
     make_puncturing,
@@ -32,6 +54,7 @@ from repro.experiments.runner import (
     run_spinal_curve,
     run_spinal_point,
 )
+from repro.experiments.spec import Axis, Column, PlotSpec, SweepSpec
 from repro.experiments.transport_sweep import (
     TransportSweepConfig,
     TransportSweepRow,
@@ -40,6 +63,18 @@ from repro.experiments.transport_sweep import (
 )
 
 __all__ = [
+    "Experiment",
+    "RunOutcome",
+    "Axis",
+    "Column",
+    "PlotSpec",
+    "SweepSpec",
+    "register",
+    "get",
+    "names",
+    "all_experiments",
+    "load_all",
+    "run_experiment",
     "SpinalRunConfig",
     "make_puncturing",
     "run_spinal_point",

@@ -6,20 +6,100 @@ rateless spinal code beats the fixed-block finite-length bound).  This
 experiment repeats the rate-vs-SNR measurement for several message lengths
 and reports each length's rate together with the corresponding
 finite-blocklength bound.
+
+Registered as ``blocklength``; ``blocklength_experiment`` is a thin wrapper
+over the registry engine that adapts cells to the historical rows.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.experiments.runner import SpinalRunConfig, run_spinal_point
-from repro.theory.capacity import awgn_capacity_db
+from repro.experiments.registry import Experiment, register, run_experiment
+from repro.experiments.runner import (
+    SpinalRunConfig,
+    awgn_seed_labels,
+    awgn_trial,
+    rate_cell_aggregate,
+    require_engine_compatible,
+    spinal_fixed,
+    spinal_overrides,
+)
+from repro.experiments.spec import Axis, Column, PlotSpec, SweepSpec
 from repro.theory.finite_blocklength import ppv_fixed_block_bound_db
 from repro.utils.results import render_table
 
-__all__ = ["BlocklengthRow", "blocklength_experiment", "blocklength_table"]
+__all__ = [
+    "BlocklengthRow",
+    "blocklength_experiment",
+    "blocklength_table",
+    "BLOCKLENGTH_EXPERIMENT",
+]
 
 DEFAULT_MESSAGE_LENGTHS = (16, 24, 48, 96)
+
+
+def blocklength_point(params, rng) -> dict:
+    """Registry kernel: one spinal trial plus this length's PPV bound."""
+    metrics = awgn_trial(params, rng)
+    metrics["ppv_bound"] = ppv_fixed_block_bound_db(
+        float(params["snr_db"]), block_length=int(params["payload_bits"])
+    )
+    return metrics
+
+
+def blocklength_aggregate(params, trials) -> dict:
+    out = rate_cell_aggregate(params, trials)
+    out["beats_bound"] = out["rate"] > out["ppv_bound"]
+    return out
+
+
+def _blocklength_fixed() -> dict:
+    fixed = spinal_fixed()
+    fixed.pop("payload_bits")
+    return fixed
+
+
+BLOCKLENGTH_EXPERIMENT = register(
+    Experiment(
+        name="blocklength",
+        description="E9: spinal rate vs message length against the PPV fixed-block bound",
+        spec=SweepSpec(
+            axes=(
+                Axis("payload_bits", DEFAULT_MESSAGE_LENGTHS, "int"),
+                Axis("snr_db", (0.0, 10.0, 20.0), "float"),
+            ),
+            fixed=_blocklength_fixed(),
+        ),
+        run_point=blocklength_point,
+        columns=(
+            Column("m (bits)", "payload_bits"),
+            Column("SNR(dB)", "snr_db"),
+            Column("mean rate", "rate"),
+            Column("capacity", "capacity"),
+            Column("PPV bound(m)", "ppv_bound"),
+            Column("beats bound", "beats_bound"),
+        ),
+        n_trials=25,
+        aggregate=blocklength_aggregate,
+        seed_labels=awgn_seed_labels,
+        smoke={
+            "payload_bits": (16,),
+            "snr_db": (10.0,),
+            "k": 4,
+            "c": 6,
+            "beam_width": 8,
+            "n_trials": 2,
+        },
+        plot=PlotSpec(
+            x="snr_db",
+            y="rate",
+            series="payload_bits",
+            x_label="SNR (dB)",
+            y_label="bits/symbol",
+        ),
+    )
+)
 
 
 @dataclass(frozen=True)
@@ -45,23 +125,28 @@ def blocklength_experiment(
     """Measure the spinal rate for several message lengths."""
     if base_config is None:
         base_config = SpinalRunConfig(n_trials=25)
-    rows = []
-    for payload_bits in payload_lengths:
-        config = base_config.with_(payload_bits=int(payload_bits))
-        for snr_db in snr_values_db:
-            measurement = run_spinal_point(config, float(snr_db))
-            rows.append(
-                BlocklengthRow(
-                    payload_bits=int(payload_bits),
-                    snr_db=float(snr_db),
-                    mean_rate=measurement.mean_rate,
-                    capacity=awgn_capacity_db(float(snr_db)),
-                    fixed_block_bound=ppv_fixed_block_bound_db(
-                        float(snr_db), block_length=int(payload_bits)
-                    ),
-                )
-            )
-    return rows
+    require_engine_compatible(base_config)
+    overrides = spinal_overrides(base_config)
+    overrides.pop("payload_bits")
+    overrides["payload_bits"] = tuple(int(m) for m in payload_lengths)
+    overrides["snr_db"] = tuple(float(s) for s in snr_values_db)
+    outcome = run_experiment(
+        BLOCKLENGTH_EXPERIMENT,
+        overrides=overrides,
+        n_trials=base_config.n_trials,
+        seed=base_config.seed,
+        n_workers=base_config.n_workers,
+    )
+    return [
+        BlocklengthRow(
+            payload_bits=int(params["payload_bits"]),
+            snr_db=float(params["snr_db"]),
+            mean_rate=cell["aggregate"]["rate"],
+            capacity=cell["aggregate"]["capacity"],
+            fixed_block_bound=cell["aggregate"]["ppv_bound"],
+        )
+        for _key, params, cell in outcome.successful_cells()
+    ]
 
 
 def blocklength_table(rows: list[BlocklengthRow]) -> str:

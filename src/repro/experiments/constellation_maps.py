@@ -6,13 +6,27 @@ attributed to the uniform rather than Gaussian input distribution).  This
 ablation measures the achieved rate of the three implemented maps — the
 paper's sign/magnitude linear map, the offset-linear (uniform PAM) map, and
 the truncated-Gaussian map — across SNR.
+
+Registered as ``constellation-maps``; ``constellation_experiment`` is a
+thin wrapper over the registry engine that adapts cells to the historical
+rows.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.experiments.runner import SpinalRunConfig, run_spinal_point
+from repro.experiments.registry import Experiment, register, run_experiment
+from repro.experiments.runner import (
+    SpinalRunConfig,
+    awgn_seed_labels,
+    awgn_trial,
+    rate_cell_aggregate,
+    require_engine_compatible,
+    spinal_fixed,
+    spinal_overrides,
+)
+from repro.experiments.spec import Axis, Column, PlotSpec, SweepSpec
 from repro.theory.capacity import awgn_capacity_db
 from repro.utils.results import render_table
 
@@ -20,9 +34,62 @@ __all__ = [
     "ConstellationRow",
     "constellation_experiment",
     "constellation_table",
+    "CONSTELLATION_EXPERIMENT",
 ]
 
 DEFAULT_MAPS = ("linear", "offset-linear", "truncated-gaussian")
+
+
+def constellation_point(params, rng) -> dict:
+    """Registry kernel: one spinal trial under this cell's mapping function."""
+    return awgn_trial(params, rng)
+
+
+def _constellation_fixed() -> dict:
+    fixed = spinal_fixed()
+    fixed.pop("constellation")
+    return fixed
+
+
+CONSTELLATION_EXPERIMENT = register(
+    Experiment(
+        name="constellation-maps",
+        description="E11: linear vs offset-linear vs truncated-Gaussian symbol maps",
+        spec=SweepSpec(
+            axes=(
+                Axis("constellation", DEFAULT_MAPS, "str"),
+                Axis("snr_db", (0.0, 10.0, 20.0), "float"),
+            ),
+            fixed=_constellation_fixed(),
+        ),
+        run_point=constellation_point,
+        columns=(
+            Column("constellation", "constellation"),
+            Column("SNR(dB)", "snr_db"),
+            Column("mean rate", "rate"),
+            Column("fraction of capacity", "fraction_of_capacity"),
+        ),
+        n_trials=25,
+        aggregate=rate_cell_aggregate,
+        seed_labels=awgn_seed_labels,
+        smoke={
+            "constellation": ("linear",),
+            "snr_db": (10.0,),
+            "payload_bits": 16,
+            "k": 4,
+            "c": 6,
+            "beam_width": 8,
+            "n_trials": 2,
+        },
+        plot=PlotSpec(
+            x="snr_db",
+            y="rate",
+            series="constellation",
+            x_label="SNR (dB)",
+            y_label="bits/symbol",
+        ),
+    )
+)
 
 
 @dataclass(frozen=True)
@@ -43,21 +110,27 @@ def constellation_experiment(
     """Measure every implemented mapping function at several SNRs."""
     if base_config is None:
         base_config = SpinalRunConfig(n_trials=25)
-    rows = []
-    for kind in constellation_kinds:
-        config = base_config.with_(params=base_config.params.with_(constellation=kind))
-        for snr_db in snr_values_db:
-            measurement = run_spinal_point(config, float(snr_db))
-            capacity = awgn_capacity_db(float(snr_db))
-            rows.append(
-                ConstellationRow(
-                    constellation=kind,
-                    snr_db=float(snr_db),
-                    mean_rate=measurement.mean_rate,
-                    fraction_of_capacity=measurement.mean_rate / capacity,
-                )
-            )
-    return rows
+    require_engine_compatible(base_config)
+    overrides = spinal_overrides(base_config)
+    overrides.pop("constellation")
+    overrides["constellation"] = tuple(str(c) for c in constellation_kinds)
+    overrides["snr_db"] = tuple(float(s) for s in snr_values_db)
+    outcome = run_experiment(
+        CONSTELLATION_EXPERIMENT,
+        overrides=overrides,
+        n_trials=base_config.n_trials,
+        seed=base_config.seed,
+        n_workers=base_config.n_workers,
+    )
+    return [
+        ConstellationRow(
+            constellation=str(params["constellation"]),
+            snr_db=float(params["snr_db"]),
+            mean_rate=cell["aggregate"]["rate"],
+            fraction_of_capacity=cell["aggregate"]["fraction_of_capacity"],
+        )
+        for _key, params, cell in outcome.successful_cells()
+    ]
 
 
 def constellation_table(rows: list[ConstellationRow]) -> str:

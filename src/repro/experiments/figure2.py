@@ -22,7 +22,19 @@ import numpy as np
 
 from repro.baselines.ldpc_system import FIGURE2_LDPC_CONFIGS, FixedRateLdpcSystem, LdpcConfig
 from repro.experiments.metrics import crossover_snr
-from repro.experiments.runner import SpinalRunConfig, run_spinal_curve
+from repro.experiments.registry import Experiment, register, run_experiment
+from repro.experiments.runner import (
+    SPINAL_SMOKE,
+    SpinalRunConfig,
+    awgn_seed_labels,
+    awgn_trial,
+    is_engine_compatible,
+    rate_cell_aggregate,
+    run_spinal_curve,
+    spinal_fixed,
+    spinal_overrides,
+)
+from repro.experiments.spec import Axis, Column, PlotSpec, SweepSpec
 from repro.theory.capacity import awgn_capacity_db
 from repro.theory.finite_blocklength import ppv_fixed_block_bound_db
 from repro.utils.results import RateMeasurement, SweepResult, render_table
@@ -36,10 +48,46 @@ __all__ = [
     "spinal_figure2_curve",
     "ldpc_figure2_curves",
     "figure2_table",
+    "FIGURE2_EXPERIMENT",
 ]
 
 #: SNR grid of the paper's figure: -10 dB to 40 dB.
 DEFAULT_SNR_GRID_DB: tuple[float, ...] = tuple(float(s) for s in range(-10, 42, 2))
+
+
+def figure2_point(params, rng) -> dict:
+    """Registry kernel: one Figure-2 spinal trial plus the bound curves."""
+    metrics = awgn_trial(params, rng)
+    metrics["shannon"] = metrics["capacity"]
+    metrics["fixed_block"] = ppv_fixed_block_bound_db(
+        float(params["snr_db"]), block_length=int(params["payload_bits"])
+    )
+    return metrics
+
+
+FIGURE2_EXPERIMENT = register(
+    Experiment(
+        name="figure2",
+        description="Figure 2 core: spinal rate vs SNR with Shannon and fixed-block bounds",
+        spec=SweepSpec(
+            axes=(Axis("snr_db", DEFAULT_SNR_GRID_DB, "float"),),
+            fixed=spinal_fixed(),
+        ),
+        run_point=figure2_point,
+        columns=(
+            Column("SNR(dB)", "snr_db"),
+            Column("Shannon", "shannon"),
+            Column("FixedBlk", "fixed_block"),
+            Column("Spinal", "rate"),
+            Column("stderr", "rate_stderr"),
+        ),
+        n_trials=30,
+        aggregate=rate_cell_aggregate,
+        seed_labels=awgn_seed_labels,
+        smoke={**SPINAL_SMOKE, "snr_db": (0.0, 10.0)},
+        plot=PlotSpec(x="snr_db", y="rate", x_label="SNR (dB)", y_label="bits/symbol"),
+    )
+)
 
 
 def shannon_curve(snr_values_db) -> SweepResult:
@@ -74,10 +122,35 @@ def spinal_figure2_curve(
     snr_values_db=DEFAULT_SNR_GRID_DB,
     config: SpinalRunConfig | None = None,
 ) -> SweepResult:
-    """The measured spinal curve with the paper's Figure 2 parameters."""
+    """The measured spinal curve with the paper's Figure 2 parameters.
+
+    Routed through the experiment registry (cell *and* trial process
+    fan-out, identical numbers to the direct runner); configs using knobs
+    the declarative spec does not carry fall back to
+    :func:`run_spinal_curve`.
+    """
     if config is None:
         config = SpinalRunConfig()
-    return run_spinal_curve(config, snr_values_db, name="Spinal m=24 B=16")
+    name = "Spinal m=24 B=16"
+    if not is_engine_compatible(config):
+        return run_spinal_curve(config, snr_values_db, name=name)
+    outcome = run_experiment(
+        FIGURE2_EXPERIMENT,
+        overrides={
+            **spinal_overrides(config),
+            "snr_db": tuple(float(s) for s in snr_values_db),
+        },
+        n_trials=config.n_trials,
+        seed=config.seed,
+        n_workers=config.n_workers,
+    )
+    sweep = SweepResult(name=name, metadata={"config": config})
+    for _key, params, cell in outcome.successful_cells():
+        point = RateMeasurement(snr_db=float(params["snr_db"]))
+        for trial in cell["trials"]:
+            point.add_trial(trial["rate"], trial["symbols"], trial["ok"])
+        sweep.add_point(point)
+    return sweep
 
 
 def ldpc_figure2_curves(

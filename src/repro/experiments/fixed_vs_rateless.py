@@ -7,12 +7,16 @@ ablation pins that down: at each SNR it compares
   Figure 2 operation), against
 * the best fixed-rate spinal configuration chosen *with hindsight* for that
   SNR (the best ``k / n_passes`` whose frame error rate keeps its achieved
-  rate highest), against
-* the best fixed-rate LDPC configuration at that SNR (optional, slower).
+  rate highest).
 
-The gap between the first two is the value of ratelessness itself (no
-configuration search, no mis-selection, fine-grained stopping); the gap to
-the third is the value of the spinal construction at short block lengths.
+The gap between the two is the value of ratelessness itself (no
+configuration search, no mis-selection, fine-grained stopping).
+
+Registered as ``fixed-vs-rateless``: the per-trial kernel measures the
+rateless session; the cell aggregate performs the hindsight fixed-rate
+search (its streams use the historical ``("fixed-spinal", snr, passes)``
+labels).  ``fixed_vs_rateless_experiment`` is a thin wrapper that adapts
+cells to the historical rows.
 """
 
 from __future__ import annotations
@@ -20,14 +24,110 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.baselines.fixed_rate_spinal import FixedRateSpinalSystem
-from repro.experiments.runner import SpinalRunConfig, run_spinal_point
-from repro.theory.capacity import awgn_capacity_db
+from repro.experiments.registry import Experiment, register, run_experiment
+from repro.experiments.runner import (
+    SpinalRunConfig,
+    awgn_seed_labels,
+    awgn_trial,
+    rate_cell_aggregate,
+    require_engine_compatible,
+    spinal_config_from_params,
+    spinal_fixed,
+    spinal_overrides,
+)
+from repro.experiments.spec import Axis, Column, PlotSpec, SweepSpec
 from repro.utils.results import render_table
 from repro.utils.rng import spawn_rng
 
-__all__ = ["FixedVsRatelessRow", "fixed_vs_rateless_experiment", "fixed_vs_rateless_table"]
+__all__ = [
+    "FixedVsRatelessRow",
+    "fixed_vs_rateless_experiment",
+    "fixed_vs_rateless_table",
+    "FIXED_VS_RATELESS_EXPERIMENT",
+]
 
 DEFAULT_PASS_CHOICES = (1, 2, 3, 4, 6, 8, 12)
+
+
+def fixed_vs_rateless_point(params, rng) -> dict:
+    """Registry kernel: one rateless spinal trial at this cell's SNR."""
+    return awgn_trial(params, rng)
+
+
+def fixed_vs_rateless_aggregate(params, trials) -> dict:
+    """Mean rateless rate plus the hindsight-best fixed-rate configuration.
+
+    The fixed-rate search draws from ``fixed_search_seed`` when set (the
+    wrapper's historical independent ``seed`` argument), falling back to
+    the run's base seed.
+    """
+    out = rate_cell_aggregate(params, trials)
+    config = spinal_config_from_params(params)
+    snr_db = float(params["snr_db"])
+    search_seed = params["fixed_search_seed"]
+    if search_seed is None:
+        search_seed = params["seed"]
+    best_rate = 0.0
+    best_passes = 0
+    for n_passes in params["pass_choices"]:
+        system = FixedRateSpinalSystem(
+            message_bits=config.payload_bits,
+            n_passes=int(n_passes),
+            params=config.params,
+            beam_width=config.beam_width,
+            adc_bits=config.adc_bits,
+        )
+        rng = spawn_rng(int(search_seed), "fixed-spinal", snr_db, int(n_passes))
+        result = system.measure(snr_db, int(params["n_fixed_frames"]), rng)
+        if result.achieved_rate > best_rate:
+            best_rate = result.achieved_rate
+            best_passes = int(n_passes)
+    out["best_fixed_rate"] = best_rate
+    out["best_fixed_passes"] = best_passes
+    out["rateless_gain"] = out["rate"] - best_rate
+    return out
+
+
+FIXED_VS_RATELESS_EXPERIMENT = register(
+    Experiment(
+        name="fixed-vs-rateless",
+        description="Rateless spinal vs the hindsight-best fixed-rate spinal per SNR",
+        spec=SweepSpec(
+            axes=(Axis("snr_db", (0.0, 5.0, 10.0, 15.0, 20.0), "float"),),
+            fixed={
+                **spinal_fixed(),
+                "pass_choices": DEFAULT_PASS_CHOICES,
+                "n_fixed_frames": 25,
+                "fixed_search_seed": None,
+            },
+        ),
+        run_point=fixed_vs_rateless_point,
+        columns=(
+            Column("SNR(dB)", "snr_db"),
+            Column("capacity", "capacity"),
+            Column("rateless", "rate"),
+            Column("best fixed spinal", "best_fixed_rate"),
+            Column("passes", "best_fixed_passes"),
+            Column("rateless gain", "rateless_gain"),
+        ),
+        n_trials=25,
+        aggregate=fixed_vs_rateless_aggregate,
+        seed_labels=awgn_seed_labels,
+        smoke={
+            "snr_db": (12.0,),
+            "pass_choices": (1, 2),
+            "n_fixed_frames": 2,
+            "payload_bits": 16,
+            "k": 4,
+            "c": 6,
+            "beam_width": 8,
+            "n_trials": 2,
+        },
+        plot=PlotSpec(
+            x="snr_db", y="rateless_gain", x_label="SNR (dB)", y_label="bits/symbol"
+        ),
+    )
+)
 
 
 @dataclass(frozen=True)
@@ -53,38 +153,37 @@ def fixed_vs_rateless_experiment(
     n_fixed_frames: int = 25,
     seed: int = 20111114,
 ) -> list[FixedVsRatelessRow]:
-    """Compare rateless operation against hindsight-optimal fixed-rate spinal."""
+    """Compare rateless operation against hindsight-optimal fixed-rate spinal.
+
+    As historically, the rateless trials draw from ``config.seed`` and the
+    fixed-rate search from the independent ``seed`` argument.
+    """
     if config is None:
         config = SpinalRunConfig(n_trials=25)
-    rows = []
-    for snr_db in snr_values_db:
-        rateless = run_spinal_point(config, float(snr_db))
-
-        best_rate = 0.0
-        best_passes = 0
-        for n_passes in pass_choices:
-            system = FixedRateSpinalSystem(
-                message_bits=config.payload_bits,
-                n_passes=int(n_passes),
-                params=config.params,
-                beam_width=config.beam_width,
-                adc_bits=config.adc_bits,
-            )
-            rng = spawn_rng(seed, "fixed-spinal", snr_db, n_passes)
-            result = system.measure(float(snr_db), n_fixed_frames, rng)
-            if result.achieved_rate > best_rate:
-                best_rate = result.achieved_rate
-                best_passes = int(n_passes)
-        rows.append(
-            FixedVsRatelessRow(
-                snr_db=float(snr_db),
-                capacity=awgn_capacity_db(float(snr_db)),
-                rateless_rate=rateless.mean_rate,
-                best_fixed_rate=best_rate,
-                best_fixed_passes=best_passes,
-            )
+    require_engine_compatible(config)
+    outcome = run_experiment(
+        FIXED_VS_RATELESS_EXPERIMENT,
+        overrides={
+            **spinal_overrides(config),
+            "snr_db": tuple(float(s) for s in snr_values_db),
+            "pass_choices": tuple(int(p) for p in pass_choices),
+            "n_fixed_frames": int(n_fixed_frames),
+            "fixed_search_seed": int(seed),
+        },
+        n_trials=config.n_trials,
+        seed=config.seed,
+        n_workers=config.n_workers,
+    )
+    return [
+        FixedVsRatelessRow(
+            snr_db=float(params["snr_db"]),
+            capacity=cell["aggregate"]["capacity"],
+            rateless_rate=cell["aggregate"]["rate"],
+            best_fixed_rate=cell["aggregate"]["best_fixed_rate"],
+            best_fixed_passes=int(cell["aggregate"]["best_fixed_passes"]),
         )
-    return rows
+        for _key, params, cell in outcome.successful_cells()
+    ]
 
 
 def fixed_vs_rateless_table(rows: list[FixedVsRatelessRow]) -> str:

@@ -5,21 +5,88 @@ exponentially with k, while the maximum rate achievable by the code grows
 linearly with k".  This experiment sweeps k at fixed SNR and message length
 and reports both the achieved rate and the decoder work per delivered
 message, making that trade-off measurable.
+
+Registered as ``k-sweep``; ``k_sweep_experiment`` is a thin wrapper over
+the registry engine that adapts cells to the historical rows.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core.params import SpinalParams
-from repro.core.rateless import RatelessSession
-from repro.experiments.runner import SpinalRunConfig
 from repro.channels.awgn import AWGNChannel
-from repro.utils.bitops import random_message_bits
-from repro.utils.results import render_table
-from repro.utils.rng import spawn_rng
+from repro.experiments.registry import Experiment, default_aggregate, register, run_experiment
+from repro.experiments.runner import (
+    run_one_spinal_trial,
+    spinal_config_from_params,
+    spinal_fixed,
+)
+from repro.experiments.spec import Axis, Column, PlotSpec, SweepSpec
+from repro.utils.results import mean, render_table
 
-__all__ = ["KSweepRow", "k_sweep_experiment", "k_sweep_table"]
+__all__ = ["KSweepRow", "k_sweep_experiment", "k_sweep_table", "K_SWEEP_EXPERIMENT"]
+
+
+def k_sweep_point(params, rng) -> dict:
+    """Registry kernel: one spinal trial at this cell's segment size k.
+
+    The symbol budget assumes an ideal rate of ``k`` bits/symbol (the
+    un-punctured ceiling), exactly like the historical experiment.
+    """
+    config = spinal_config_from_params(params)
+    channel = AWGNChannel(float(params["snr_db"]), adc_bits=config.adc_bits)
+    budget = config.symbol_budget(ideal_rate=max(float(params["k"]), 1.0))
+    return run_one_spinal_trial(config, channel, budget, rng)
+
+
+def k_sweep_seed_labels(params, trial) -> tuple:
+    """The historical per-trial stream labels of the k sweep."""
+    return ("k-sweep", int(params["k"]), trial)
+
+
+def k_sweep_aggregate(params, trials) -> dict:
+    out = default_aggregate(params, trials)
+    out["rate"] = mean([float(t["rate"]) for t in trials])
+    out["candidates"] = mean([float(t["candidates"]) for t in trials])
+    out["max_rate_bound"] = float(params["k"]) * 2  # tail-first puncturing can double it
+    return out
+
+
+def _k_sweep_fixed() -> dict:
+    fixed = spinal_fixed(snr_db=15.0)
+    fixed.pop("k")
+    return fixed
+
+
+K_SWEEP_EXPERIMENT = register(
+    Experiment(
+        name="k-sweep",
+        description="E6: rate and decoder work vs segment size k at fixed SNR",
+        spec=SweepSpec(
+            axes=(Axis("k", (2, 3, 4, 6, 8), "int"),),
+            fixed=_k_sweep_fixed(),
+        ),
+        run_point=k_sweep_point,
+        columns=(
+            Column("k", "k"),
+            Column("SNR(dB)", "snr_db"),
+            Column("mean rate", "rate"),
+            Column("tree nodes / message", "candidates"),
+            Column("max rate bound", "max_rate_bound"),
+        ),
+        n_trials=25,
+        aggregate=k_sweep_aggregate,
+        seed_labels=k_sweep_seed_labels,
+        smoke={
+            "k": (2, 4),
+            "payload_bits": 16,
+            "beam_width": 8,
+            "c": 6,
+            "n_trials": 2,
+        },
+        plot=PlotSpec(x="k", y="rate", x_label="segment size k", y_label="bits/symbol"),
+    )
+)
 
 
 @dataclass(frozen=True)
@@ -42,48 +109,32 @@ def k_sweep_experiment(
     seed: int = 20111114,
 ) -> list[KSweepRow]:
     """Measure rate and decoder work as a function of k at one SNR."""
-    rows = []
     for k in k_values:
-        if payload_bits % k != 0:
+        if payload_bits % int(k) != 0:
             raise ValueError(
                 f"payload_bits={payload_bits} must be divisible by every k (got k={k})"
             )
-        config = SpinalRunConfig(
-            payload_bits=payload_bits,
-            params=SpinalParams(k=int(k), c=10),
-            beam_width=beam_width,
-            n_trials=n_trials,
-            seed=seed,
+    outcome = run_experiment(
+        K_SWEEP_EXPERIMENT,
+        overrides={
+            "k": tuple(int(k) for k in k_values),
+            "snr_db": float(snr_db),
+            "payload_bits": int(payload_bits),
+            "beam_width": int(beam_width),
+        },
+        n_trials=n_trials,
+        seed=seed,
+    )
+    return [
+        KSweepRow(
+            k=int(params["k"]),
+            snr_db=float(snr_db),
+            mean_rate=cell["aggregate"]["rate"],
+            mean_candidates_per_message=cell["aggregate"]["candidates"],
+            max_rate_bound=cell["aggregate"]["max_rate_bound"],
         )
-        framer = config.build_framer()
-        encoder = config.build_encoder()
-        session = RatelessSession(
-            encoder,
-            decoder_factory=config.decoder_factory(),
-            channel=AWGNChannel(snr_db, adc_bits=config.adc_bits),
-            framer=framer,
-            termination=config.termination,
-            max_symbols=config.symbol_budget(ideal_rate=max(float(k), 1.0)),
-            search=config.search,
-        )
-        total_rate = 0.0
-        total_candidates = 0.0
-        for trial in range(n_trials):
-            rng = spawn_rng(seed, "k-sweep", k, trial)
-            payload = random_message_bits(payload_bits, rng)
-            result = session.run(payload, rng)
-            total_rate += result.rate
-            total_candidates += result.candidates_explored
-        rows.append(
-            KSweepRow(
-                k=int(k),
-                snr_db=snr_db,
-                mean_rate=total_rate / n_trials,
-                mean_candidates_per_message=total_candidates / n_trials,
-                max_rate_bound=float(k) * 2,  # tail-first puncturing can double it
-            )
-        )
-    return rows
+        for _key, params, cell in outcome.successful_cells()
+    ]
 
 
 def k_sweep_table(rows: list[KSweepRow]) -> str:

@@ -4,6 +4,15 @@ Figure 2 decodes the LDPC baselines with 40 belief-propagation iterations.
 This ablation sweeps the iteration budget (and the sum-product vs min-sum
 algorithm choice) near each configuration's waterfall, confirming that the
 baseline in the reproduction is not handicapped by a weak decoder.
+
+Two registry experiments live here:
+
+* ``ldpc-ablation`` — the E12 (algorithm × iteration budget) FER sweep;
+* ``ldpc-rate`` — achieved rate of one fixed LDPC configuration across SNR
+  (what the ``repro ldpc`` CLI command measures).
+
+``ldpc_iteration_experiment`` is a thin wrapper over the registry engine
+that adapts cells to the historical rows.
 """
 
 from __future__ import annotations
@@ -12,12 +21,130 @@ from dataclasses import dataclass
 from fractions import Fraction
 
 from repro.baselines.ldpc_system import FixedRateLdpcSystem, LdpcConfig
+from repro.experiments.registry import Experiment, register, run_experiment
+from repro.experiments.spec import Axis, Column, PlotSpec, SweepSpec
 from repro.utils.results import render_table
-from repro.utils.rng import spawn_rng
 
-__all__ = ["LdpcAblationRow", "ldpc_iteration_experiment", "ldpc_iteration_table"]
+__all__ = [
+    "LdpcAblationRow",
+    "ldpc_iteration_experiment",
+    "ldpc_iteration_table",
+    "LDPC_ABLATION_EXPERIMENT",
+    "LDPC_RATE_EXPERIMENT",
+]
 
 DEFAULT_ITERATIONS = (5, 10, 20, 40, 80)
+
+
+def _ldpc_config(params) -> LdpcConfig:
+    return LdpcConfig(Fraction(str(params["rate"])), str(params["modulation"]))
+
+
+def ldpc_ablation_point(params, rng) -> dict:
+    """Registry kernel: FER of one (algorithm, iteration budget) cell."""
+    config = _ldpc_config(params)
+    system = FixedRateLdpcSystem(
+        config,
+        max_iterations=int(params["iterations"]),
+        algorithm=str(params["algorithm"]),
+    )
+    fer = system.frame_error_rate(
+        float(params["snr_db"]), int(params["frames"]), rng
+    )
+    return {"config_label": config.label, "fer": fer}
+
+
+def ldpc_ablation_seed_labels(params, trial) -> tuple:
+    """The historical stream labels of the iteration ablation.
+
+    Trial 0 reproduces the pre-registry stream exactly; further trials
+    append the trial index so ``--trials N`` measures independent batches
+    rather than duplicating the first.
+    """
+    labels = ("ldpc-ablation", str(params["algorithm"]), int(params["iterations"]))
+    return labels if trial == 0 else labels + (trial,)
+
+
+LDPC_ABLATION_EXPERIMENT = register(
+    Experiment(
+        name="ldpc-ablation",
+        description="E12: LDPC frame error rate vs BP iteration budget and algorithm",
+        spec=SweepSpec(
+            axes=(
+                Axis("algorithm", ("sum-product", "min-sum"), "str"),
+                Axis("iterations", DEFAULT_ITERATIONS, "int"),
+            ),
+            fixed={"rate": "1/2", "modulation": "BPSK", "snr_db": 1.0, "frames": 100},
+        ),
+        run_point=ldpc_ablation_point,
+        columns=(
+            Column("config", "config_label"),
+            Column("algorithm", "algorithm"),
+            Column("iterations", "iterations"),
+            Column("SNR(dB)", "snr_db"),
+            Column("FER", "fer"),
+        ),
+        n_trials=1,
+        seed_labels=ldpc_ablation_seed_labels,
+        smoke={"algorithm": ("min-sum",), "iterations": (5,), "frames": 2},
+        plot=PlotSpec(
+            x="iterations",
+            y="fer",
+            series="algorithm",
+            x_label="BP iterations",
+            y_label="FER",
+        ),
+    )
+)
+
+
+def ldpc_rate_point(params, rng) -> dict:
+    """Registry kernel: achieved rate of one LDPC configuration at one SNR."""
+    config = _ldpc_config(params)
+    system = FixedRateLdpcSystem(config, max_iterations=int(params["iterations"]))
+    fer = system.frame_error_rate(
+        float(params["snr_db"]), int(params["frames"]), rng
+    )
+    return {
+        "nominal_rate": system.nominal_rate,
+        "fer": fer,
+        "achieved_rate": system.nominal_rate * (1.0 - fer),
+    }
+
+
+def ldpc_rate_seed_labels(params, trial) -> tuple:
+    """The historical stream labels of the ``repro ldpc`` CLI measurement.
+
+    Trial 0 reproduces the pre-registry stream exactly; further trials
+    append the trial index for independent batches.
+    """
+    labels = ("cli-ldpc", float(params["snr_db"]))
+    return labels if trial == 0 else labels + (trial,)
+
+
+LDPC_RATE_EXPERIMENT = register(
+    Experiment(
+        name="ldpc-rate",
+        description="Achieved rate of one fixed-rate LDPC configuration across SNR",
+        spec=SweepSpec(
+            axes=(Axis("snr_db", (0.0, 4.0, 8.0, 12.0, 16.0, 20.0), "float"),),
+            fixed={"rate": "1/2", "modulation": "QAM-16", "frames": 40, "iterations": 40},
+        ),
+        run_point=ldpc_rate_point,
+        columns=(
+            Column("SNR(dB)", "snr_db"),
+            Column("nominal rate", "nominal_rate"),
+            Column("FER", "fer"),
+            Column("achieved rate", "achieved_rate"),
+        ),
+        n_trials=1,
+        seed_labels=ldpc_rate_seed_labels,
+        smoke={"snr_db": (8.0,), "modulation": "BPSK", "frames": 2, "iterations": 5},
+        plot=PlotSpec(
+            x="snr_db", y="achieved_rate", x_label="SNR (dB)", y_label="bits/symbol"
+        ),
+    )
+)
 
 
 @dataclass(frozen=True)
@@ -42,24 +169,28 @@ def ldpc_iteration_experiment(
     """Sweep the BP iteration budget for one configuration near its waterfall."""
     if config is None:
         config = LdpcConfig(Fraction(1, 2), "BPSK")
-    rows = []
-    for algorithm in algorithms:
-        for max_iterations in iteration_budgets:
-            system = FixedRateLdpcSystem(
-                config, max_iterations=int(max_iterations), algorithm=algorithm
-            )
-            rng = spawn_rng(seed, "ldpc-ablation", algorithm, max_iterations)
-            fer = system.frame_error_rate(snr_db, n_frames, rng)
-            rows.append(
-                LdpcAblationRow(
-                    config_label=config.label,
-                    algorithm=algorithm,
-                    max_iterations=int(max_iterations),
-                    snr_db=snr_db,
-                    frame_error_rate=fer,
-                )
-            )
-    return rows
+    outcome = run_experiment(
+        LDPC_ABLATION_EXPERIMENT,
+        overrides={
+            "algorithm": tuple(str(a) for a in algorithms),
+            "iterations": tuple(int(i) for i in iteration_budgets),
+            "rate": str(config.code_rate),
+            "modulation": config.modulation,
+            "snr_db": float(snr_db),
+            "frames": int(n_frames),
+        },
+        seed=seed,
+    )
+    return [
+        LdpcAblationRow(
+            config_label=cell["aggregate"]["config_label"],
+            algorithm=str(params["algorithm"]),
+            max_iterations=int(params["iterations"]),
+            snr_db=float(snr_db),
+            frame_error_rate=cell["aggregate"]["fer"],
+        )
+        for _key, params, cell in outcome.cells()
+    ]
 
 
 def ldpc_iteration_table(rows: list[LdpcAblationRow]) -> str:

@@ -5,18 +5,101 @@ bits/symbol using puncturing, where the transmitter does not send each
 successive spine value in every pass."  This experiment compares the
 available schedules at high SNR and reports how often the achieved rate
 exceeds the un-punctured ceiling of ``k``.
+
+Registered as ``puncturing``; ``puncturing_experiment`` is a thin wrapper
+over the registry engine that adapts cells to the historical rows.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.experiments.runner import SpinalRunConfig, run_spinal_point
-from repro.utils.results import render_table
+from repro.experiments.registry import Experiment, register, run_experiment
+from repro.experiments.runner import (
+    SpinalRunConfig,
+    awgn_seed_labels,
+    awgn_trial,
+    require_engine_compatible,
+    spinal_fixed,
+    spinal_overrides,
+)
+from repro.experiments.spec import Axis, Column, PlotSpec, SweepSpec
+from repro.utils.results import mean, render_table, std_error
 
-__all__ = ["PuncturingRow", "puncturing_experiment", "puncturing_table"]
+__all__ = [
+    "PuncturingRow",
+    "puncturing_experiment",
+    "puncturing_table",
+    "PUNCTURING_EXPERIMENT",
+]
 
 DEFAULT_SCHEDULES = ("none", "symbol", "strided", "tail-first")
+
+
+def puncturing_point(params, rng) -> dict:
+    """Registry kernel: one spinal trial under this cell's schedule."""
+    return awgn_trial({**params, "puncturing": params["schedule"]}, rng)
+
+
+def puncturing_aggregate(params, trials) -> dict:
+    rates = [float(t["rate"]) for t in trials]
+    k = int(params["k"])
+    return {
+        "rate": mean(rates),
+        "rate_stderr": std_error(rates),
+        "max_rate": max(rates),
+        "fraction_above_k": sum(1 for r in rates if r > k) / len(rates),
+        "success": mean([1.0 if t["ok"] else 0.0 for t in trials]),
+    }
+
+
+def _puncturing_fixed() -> dict:
+    fixed = spinal_fixed()
+    fixed.pop("puncturing")
+    return fixed
+
+
+PUNCTURING_EXPERIMENT = register(
+    Experiment(
+        name="puncturing",
+        description="E7: puncturing schedules vs rate at high SNR (rates above k b/sym)",
+        spec=SweepSpec(
+            axes=(
+                Axis("schedule", DEFAULT_SCHEDULES, "str"),
+                Axis("snr_db", (20.0, 30.0, 40.0), "float"),
+            ),
+            fixed=_puncturing_fixed(),
+        ),
+        run_point=puncturing_point,
+        columns=(
+            Column("schedule", "schedule"),
+            Column("SNR(dB)", "snr_db"),
+            Column("mean rate", "rate"),
+            Column("max rate", "max_rate"),
+            Column("frac > k", "fraction_above_k"),
+            Column("k", "k"),
+        ),
+        n_trials=25,
+        aggregate=puncturing_aggregate,
+        seed_labels=awgn_seed_labels,
+        smoke={
+            "schedule": ("none", "tail-first"),
+            "snr_db": (25.0,),
+            "payload_bits": 16,
+            "k": 4,
+            "c": 6,
+            "beam_width": 8,
+            "n_trials": 2,
+        },
+        plot=PlotSpec(
+            x="snr_db",
+            y="rate",
+            series="schedule",
+            x_label="SNR (dB)",
+            y_label="bits/symbol",
+        ),
+    )
+)
 
 
 @dataclass(frozen=True)
@@ -44,24 +127,29 @@ def puncturing_experiment(
     """Measure every schedule at high SNR."""
     if base_config is None:
         base_config = SpinalRunConfig(n_trials=25)
-    rows = []
-    k = base_config.params.k
-    for schedule in schedules:
-        config = base_config.with_(puncturing=schedule)
-        for snr_db in snr_values_db:
-            measurement = run_spinal_point(config, float(snr_db))
-            above = [r for r in measurement.rates if r > k]
-            rows.append(
-                PuncturingRow(
-                    schedule=schedule,
-                    snr_db=float(snr_db),
-                    mean_rate=measurement.mean_rate,
-                    max_rate=max(measurement.rates),
-                    fraction_above_k=len(above) / len(measurement.rates),
-                    k=k,
-                )
-            )
-    return rows
+    require_engine_compatible(base_config)
+    overrides = spinal_overrides(base_config)
+    overrides.pop("puncturing")
+    overrides["schedule"] = tuple(str(s) for s in schedules)
+    overrides["snr_db"] = tuple(float(s) for s in snr_values_db)
+    outcome = run_experiment(
+        PUNCTURING_EXPERIMENT,
+        overrides=overrides,
+        n_trials=base_config.n_trials,
+        seed=base_config.seed,
+        n_workers=base_config.n_workers,
+    )
+    return [
+        PuncturingRow(
+            schedule=str(params["schedule"]),
+            snr_db=float(params["snr_db"]),
+            mean_rate=cell["aggregate"]["rate"],
+            max_rate=cell["aggregate"]["max_rate"],
+            fraction_above_k=cell["aggregate"]["fraction_above_k"],
+            k=int(params["k"]),
+        )
+        for _key, params, cell in outcome.successful_cells()
+    ]
 
 
 def puncturing_table(rows: list[PuncturingRow]) -> str:

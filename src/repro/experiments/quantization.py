@@ -5,19 +5,89 @@ The paper's Figure 2 experiment quantises each received dimension to 14 bits
 show that 14 bits is effectively transparent and to find how few bits the
 decoder can actually live with — a practically relevant question for a
 receiver that feeds raw I/Q samples to the decoder.
+
+Registered as ``quantization`` (the ``adc_bits`` axis admits ``none`` for
+"no quantiser"); ``quantization_experiment`` is a thin wrapper over the
+registry engine that adapts cells to the historical rows.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.experiments.runner import SpinalRunConfig, run_spinal_point
-from repro.theory.capacity import awgn_capacity_db
+from repro.experiments.registry import Experiment, register, run_experiment
+from repro.experiments.runner import (
+    SpinalRunConfig,
+    awgn_seed_labels,
+    awgn_trial,
+    rate_cell_aggregate,
+    require_engine_compatible,
+    spinal_fixed,
+    spinal_overrides,
+)
+from repro.experiments.spec import Axis, Column, PlotSpec, SweepSpec
 from repro.utils.results import render_table
 
-__all__ = ["QuantizationRow", "quantization_experiment", "quantization_table"]
+__all__ = [
+    "QuantizationRow",
+    "quantization_experiment",
+    "quantization_table",
+    "QUANTIZATION_EXPERIMENT",
+]
 
 DEFAULT_ADC_BITS = (4, 6, 8, 10, 14, None)
+
+
+def quantization_point(params, rng) -> dict:
+    """Registry kernel: one spinal trial at this cell's ADC depth."""
+    return awgn_trial(params, rng)
+
+
+def _quantization_fixed() -> dict:
+    fixed = spinal_fixed()
+    fixed.pop("adc_bits")
+    return fixed
+
+
+QUANTIZATION_EXPERIMENT = register(
+    Experiment(
+        name="quantization",
+        description="E10: spinal rate vs receiver ADC depth (none = no quantiser)",
+        spec=SweepSpec(
+            axes=(
+                Axis("adc_bits", DEFAULT_ADC_BITS, "int", optional=True),
+                Axis("snr_db", (10.0, 25.0), "float"),
+            ),
+            fixed=_quantization_fixed(),
+        ),
+        run_point=quantization_point,
+        columns=(
+            Column("ADC bits", "adc_bits", none_text="inf"),
+            Column("SNR(dB)", "snr_db"),
+            Column("mean rate", "rate"),
+            Column("fraction of capacity", "fraction_of_capacity"),
+        ),
+        n_trials=25,
+        aggregate=rate_cell_aggregate,
+        seed_labels=awgn_seed_labels,
+        smoke={
+            "adc_bits": (6, None),
+            "snr_db": (10.0,),
+            "payload_bits": 16,
+            "k": 4,
+            "c": 6,
+            "beam_width": 8,
+            "n_trials": 2,
+        },
+        plot=PlotSpec(
+            x="snr_db",
+            y="fraction_of_capacity",
+            series="adc_bits",
+            x_label="SNR (dB)",
+            y_label="fraction of capacity",
+        ),
+    )
+)
 
 
 @dataclass(frozen=True)
@@ -38,21 +108,27 @@ def quantization_experiment(
     """Measure the spinal rate as the ADC depth varies."""
     if base_config is None:
         base_config = SpinalRunConfig(n_trials=25)
-    rows = []
-    for adc_bits in adc_bit_depths:
-        config = base_config.with_(adc_bits=adc_bits)
-        for snr_db in snr_values_db:
-            measurement = run_spinal_point(config, float(snr_db))
-            capacity = awgn_capacity_db(float(snr_db))
-            rows.append(
-                QuantizationRow(
-                    adc_bits=adc_bits,
-                    snr_db=float(snr_db),
-                    mean_rate=measurement.mean_rate,
-                    fraction_of_capacity=measurement.mean_rate / capacity,
-                )
-            )
-    return rows
+    require_engine_compatible(base_config)
+    overrides = spinal_overrides(base_config)
+    overrides.pop("adc_bits")
+    overrides["adc_bits"] = tuple(adc_bit_depths)
+    overrides["snr_db"] = tuple(float(s) for s in snr_values_db)
+    outcome = run_experiment(
+        QUANTIZATION_EXPERIMENT,
+        overrides=overrides,
+        n_trials=base_config.n_trials,
+        seed=base_config.seed,
+        n_workers=base_config.n_workers,
+    )
+    return [
+        QuantizationRow(
+            adc_bits=params["adc_bits"],
+            snr_db=float(params["snr_db"]),
+            mean_rate=cell["aggregate"]["rate"],
+            fraction_of_capacity=cell["aggregate"]["fraction_of_capacity"],
+        )
+        for _key, params, cell in outcome.successful_cells()
+    ]
 
 
 def quantization_table(rows: list[QuantizationRow]) -> str:

@@ -47,10 +47,12 @@ from repro.core.puncturing import (
     TailFirstPuncturing,
 )
 from repro.core.rateless import RatelessSession
+from repro.experiments.registry import Experiment, default_aggregate, register
+from repro.experiments.spec import Axis, Column, PlotSpec, SweepSpec
 from repro.theory.capacity import awgn_capacity_db, bsc_capacity
 from repro.utils.bitops import random_message_bits
 from repro.utils.parallel import stride_map
-from repro.utils.results import RateMeasurement, SweepResult
+from repro.utils.results import RateMeasurement, SweepResult, mean, std_error
 from repro.utils.rng import spawn_rng
 
 __all__ = [
@@ -60,6 +62,20 @@ __all__ = [
     "run_spinal_curve",
     "run_spinal_bsc_point",
     "run_spinal_bsc_curve",
+    "spinal_fixed",
+    "spinal_overrides",
+    "spinal_config_from_params",
+    "is_engine_compatible",
+    "require_engine_compatible",
+    "run_one_spinal_trial",
+    "awgn_trial",
+    "bsc_trial",
+    "awgn_seed_labels",
+    "bsc_seed_labels",
+    "rate_cell_aggregate",
+    "SPINAL_SMOKE",
+    "RATE_EXPERIMENT",
+    "BSC_EXPERIMENT",
 ]
 
 #: Budget multiplier: a trial may use this many times the symbols an ideal
@@ -282,3 +298,226 @@ def run_spinal_bsc_curve(
     for p in crossover_probabilities:
         sweep.add_point(run_spinal_bsc_point(config, float(p)))
     return sweep
+
+
+# -- registry bindings --------------------------------------------------------
+#
+# The declarative side of the Monte-Carlo runner: JSON-native parameter
+# mappings in and out, so every spinal-rate experiment can be expressed as a
+# registry spec.  The kernels replicate the historical per-trial streams
+# (``spawn_rng(seed, "trial", label, trial)``) bit-exactly, which is what
+# keeps the ported experiment modules' numbers identical to their
+# pre-registry versions.
+
+#: Fixed parameters shared by every spinal-rate experiment spec.
+_SPINAL_FIXED = {
+    "payload_bits": 24,
+    "k": 8,
+    "c": 10,
+    "beam_width": 16,
+    "adc_bits": 14,
+    "puncturing": "tail-first",
+    "constellation": "linear",
+    "decoder": "incremental",
+    "bit_mode": False,
+    "search": "bisect",
+    "max_symbols": None,
+}
+
+
+def spinal_fixed(**updates) -> dict:
+    """The paper's Figure-2 spinal configuration as spec fixed parameters."""
+    fixed = dict(_SPINAL_FIXED)
+    fixed.update(updates)
+    return fixed
+
+
+def spinal_config_from_params(params) -> SpinalRunConfig:
+    """Build a :class:`SpinalRunConfig` from a JSON-native parameter mapping."""
+    spinal = SpinalParams(
+        k=int(params["k"]),
+        c=int(params.get("c", 10)),
+        bit_mode=bool(params.get("bit_mode", False)),
+        constellation=str(params.get("constellation", "linear")),
+    )
+    adc_bits = params.get("adc_bits", 14)
+    max_symbols = params.get("max_symbols")
+    return SpinalRunConfig(
+        payload_bits=int(params["payload_bits"]),
+        params=spinal,
+        beam_width=int(params["beam_width"]),
+        adc_bits=None if adc_bits is None else int(adc_bits),
+        puncturing=str(params.get("puncturing", "tail-first")),
+        decoder=str(params.get("decoder", "incremental")),
+        search=str(params.get("search", "bisect")),
+        max_symbols=None if max_symbols is None else int(max_symbols),
+        seed=int(params.get("seed", 20111114)),
+    )
+
+
+def spinal_overrides(config: SpinalRunConfig) -> dict:
+    """Spec overrides reproducing a :class:`SpinalRunConfig` (wrapper glue)."""
+    return {
+        "payload_bits": config.payload_bits,
+        "k": config.params.k,
+        "c": config.params.c,
+        "beam_width": config.beam_width,
+        "adc_bits": config.adc_bits,
+        "puncturing": config.puncturing,
+        "constellation": config.params.constellation,
+        "decoder": config.decoder,
+        "bit_mode": config.params.bit_mode,
+        "search": config.search,
+        "max_symbols": config.max_symbols,
+    }
+
+
+def is_engine_compatible(config: SpinalRunConfig) -> bool:
+    """Whether a config is expressible as a registry spec.
+
+    The declarative specs cover the parameters the experiments actually
+    sweep (including ``search`` and ``max_symbols``); configs using the
+    exotic knobs (CRC framing, tail segments, non-genie termination,
+    overhead accounting, a custom hash-family seed or signal power) fall
+    back to the direct runner functions.
+    """
+    return (
+        config.crc is None
+        and config.tail_segments == 0
+        and config.termination == "genie"
+        and config.count_overhead is False
+        and config.params.seed == SpinalParams().seed
+        and config.params.average_power == 1.0
+    )
+
+
+def require_engine_compatible(config: SpinalRunConfig) -> None:
+    """Raise if a config cannot be expressed as a registry spec."""
+    if not is_engine_compatible(config):
+        raise ValueError(
+            "this experiment is registry-driven and only supports the declarative "
+            "spinal parameters; configs using crc, tail_segments, termination, "
+            "count_overhead, or a custom hash-family seed/signal power must use "
+            "repro.experiments.runner directly"
+        )
+
+
+def run_one_spinal_trial(
+    config: SpinalRunConfig, channel: Channel, max_symbols: int, rng
+) -> dict:
+    """One rateless transmission, as JSON-native metrics (kernel primitive)."""
+    session = config.build_session(channel, max_symbols)
+    payload = random_message_bits(config.payload_bits, rng)
+    result = session.run(payload, rng)
+    return {
+        "rate": result.rate,
+        "symbols": result.symbols_sent,
+        "ok": result.payload_correct,
+        "candidates": result.candidates_explored,
+    }
+
+
+def awgn_trial(params, rng) -> dict:
+    """Registry kernel: one spinal trial over AWGN at ``params['snr_db']``."""
+    config = spinal_config_from_params(params)
+    snr_db = float(params["snr_db"])
+    channel = AWGNChannel(
+        snr_db=snr_db,
+        signal_power=config.params.average_power,
+        adc_bits=config.adc_bits,
+    )
+    capacity = awgn_capacity_db(snr_db)
+    metrics = run_one_spinal_trial(config, channel, config.symbol_budget(capacity), rng)
+    metrics["capacity"] = capacity
+    return metrics
+
+
+def bsc_trial(params, rng) -> dict:
+    """Registry kernel: one bit-mode spinal trial over a BSC at ``params['p']``."""
+    config = spinal_config_from_params(params)
+    p = float(params["p"])
+    capacity = bsc_capacity(p)
+    metrics = run_one_spinal_trial(
+        config, BSCChannel(p), config.symbol_budget(capacity), rng
+    )
+    metrics["capacity"] = capacity
+    return metrics
+
+
+def awgn_seed_labels(params, trial) -> tuple:
+    """The historical per-trial stream labels of :func:`run_spinal_point`."""
+    return ("trial", float(params["snr_db"]), trial)
+
+
+def bsc_seed_labels(params, trial) -> tuple:
+    """The historical per-trial stream labels of :func:`run_spinal_bsc_point`."""
+    return ("trial", float(params["p"]), trial)
+
+
+def rate_cell_aggregate(params, trials) -> dict:
+    """Per-cell aggregate for rate kernels: mean/stderr plus capacity fraction."""
+    out = default_aggregate(params, trials)
+    rates = [float(t["rate"]) for t in trials]
+    out["rate"] = mean(rates)
+    out["rate_stderr"] = std_error(rates)
+    capacity = out.get("capacity")
+    if isinstance(capacity, (int, float)) and capacity > 0:
+        out["fraction_of_capacity"] = out["rate"] / capacity
+    return out
+
+
+SPINAL_SMOKE = {
+    "payload_bits": 16,
+    "k": 4,
+    "c": 6,
+    "beam_width": 8,
+    "n_trials": 2,
+}
+
+RATE_EXPERIMENT = register(
+    Experiment(
+        name="rate",
+        description="Spinal achieved rate vs AWGN SNR (the core Monte-Carlo measurement)",
+        spec=SweepSpec(
+            axes=(Axis("snr_db", (0.0, 5.0, 10.0, 15.0, 20.0, 25.0), "float"),),
+            fixed=spinal_fixed(),
+        ),
+        run_point=awgn_trial,
+        columns=(
+            Column("SNR(dB)", "snr_db"),
+            Column("capacity", "capacity"),
+            Column("rate (b/sym)", "rate"),
+            Column("stderr", "rate_stderr"),
+        ),
+        n_trials=30,
+        aggregate=rate_cell_aggregate,
+        seed_labels=awgn_seed_labels,
+        smoke={**SPINAL_SMOKE, "snr_db": (10.0,)},
+        plot=PlotSpec(x="snr_db", y="rate", x_label="SNR (dB)", y_label="bits/symbol"),
+    )
+)
+
+BSC_EXPERIMENT = register(
+    Experiment(
+        name="bsc",
+        description="Bit-mode spinal achieved rate vs BSC crossover probability",
+        spec=SweepSpec(
+            axes=(Axis("p", (0.01, 0.02, 0.05, 0.1, 0.2), "float"),),
+            fixed=spinal_fixed(bit_mode=True),
+        ),
+        run_point=bsc_trial,
+        columns=(
+            Column("p", "p"),
+            Column("capacity", "capacity"),
+            Column("rate (b/bit)", "rate"),
+            Column("stderr", "rate_stderr"),
+        ),
+        n_trials=30,
+        aggregate=rate_cell_aggregate,
+        seed_labels=bsc_seed_labels,
+        smoke={"payload_bits": 12, "k": 3, "beam_width": 8, "n_trials": 2, "p": (0.05,)},
+        plot=PlotSpec(
+            x="p", y="rate", x_label="crossover probability", y_label="bits/channel bit"
+        ),
+    )
+)

@@ -5,6 +5,9 @@ capacity.  Interestingly, ... even small values of B achieve high rates close
 to capacity."  This experiment sweeps B at a few SNRs and also records the
 decoder work (tree nodes expanded) so the rate/complexity trade-off is
 explicit.
+
+Registered as ``scale-down``; ``scale_down_experiment`` is a thin wrapper
+over the registry engine that adapts cells to the historical rows.
 """
 
 from __future__ import annotations
@@ -13,13 +16,80 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.experiments.runner import SpinalRunConfig, run_spinal_point
+from repro.experiments.registry import Experiment, register, run_experiment
+from repro.experiments.runner import (
+    SpinalRunConfig,
+    awgn_seed_labels,
+    awgn_trial,
+    rate_cell_aggregate,
+    require_engine_compatible,
+    spinal_fixed,
+    spinal_overrides,
+)
+from repro.experiments.spec import Axis, Column, PlotSpec, SweepSpec
 from repro.theory.capacity import awgn_capacity_db
 from repro.utils.results import render_table
 
-__all__ = ["ScaleDownRow", "scale_down_experiment", "scale_down_table"]
+__all__ = [
+    "ScaleDownRow",
+    "scale_down_experiment",
+    "scale_down_table",
+    "SCALE_DOWN_EXPERIMENT",
+]
 
 DEFAULT_BEAM_WIDTHS = (1, 2, 4, 8, 16, 32, 64, 256)
+
+
+def scale_down_point(params, rng) -> dict:
+    """Registry kernel: one spinal trial at this cell's beam width and SNR."""
+    return awgn_trial(params, rng)
+
+
+def _scale_down_fixed() -> dict:
+    fixed = spinal_fixed()
+    fixed.pop("beam_width")
+    return fixed
+
+
+SCALE_DOWN_EXPERIMENT = register(
+    Experiment(
+        name="scale-down",
+        description="E5: graceful scale-down — spinal rate vs decoder beam width B",
+        spec=SweepSpec(
+            axes=(
+                Axis("snr_db", (5.0, 10.0, 20.0), "float"),
+                Axis("beam_width", DEFAULT_BEAM_WIDTHS, "int"),
+            ),
+            fixed=_scale_down_fixed(),
+        ),
+        run_point=scale_down_point,
+        columns=(
+            Column("SNR(dB)", "snr_db"),
+            Column("B", "beam_width"),
+            Column("mean rate", "rate"),
+            Column("fraction of capacity", "fraction_of_capacity"),
+            Column("tree nodes", "candidates"),
+        ),
+        n_trials=25,
+        aggregate=rate_cell_aggregate,
+        seed_labels=awgn_seed_labels,
+        smoke={
+            "payload_bits": 16,
+            "k": 4,
+            "c": 6,
+            "n_trials": 2,
+            "snr_db": (10.0,),
+            "beam_width": (1, 4),
+        },
+        plot=PlotSpec(
+            x="beam_width",
+            y="rate",
+            series="snr_db",
+            x_label="beam width B",
+            y_label="bits/symbol",
+        ),
+    )
+)
 
 
 @dataclass(frozen=True)
@@ -40,21 +110,27 @@ def scale_down_experiment(
     """Sweep the decoder beam width at several SNRs."""
     if base_config is None:
         base_config = SpinalRunConfig(n_trials=25)
-    rows = []
-    for snr_db in snr_values_db:
-        capacity = awgn_capacity_db(float(snr_db))
-        for beam_width in beam_widths:
-            config = base_config.with_(beam_width=int(beam_width))
-            measurement = run_spinal_point(config, float(snr_db))
-            rows.append(
-                ScaleDownRow(
-                    snr_db=float(snr_db),
-                    beam_width=int(beam_width),
-                    mean_rate=measurement.mean_rate,
-                    fraction_of_capacity=measurement.mean_rate / capacity,
-                )
-            )
-    return rows
+    require_engine_compatible(base_config)
+    overrides = spinal_overrides(base_config)
+    overrides.pop("beam_width")
+    overrides["snr_db"] = tuple(float(s) for s in snr_values_db)
+    overrides["beam_width"] = tuple(int(b) for b in beam_widths)
+    outcome = run_experiment(
+        SCALE_DOWN_EXPERIMENT,
+        overrides=overrides,
+        n_trials=base_config.n_trials,
+        seed=base_config.seed,
+        n_workers=base_config.n_workers,
+    )
+    return [
+        ScaleDownRow(
+            snr_db=float(params["snr_db"]),
+            beam_width=int(params["beam_width"]),
+            mean_rate=cell["aggregate"]["rate"],
+            fraction_of_capacity=cell["aggregate"]["fraction_of_capacity"],
+        )
+        for _key, params, cell in outcome.successful_cells()
+    ]
 
 
 def scale_down_table(rows: list[ScaleDownRow]) -> str:

@@ -8,6 +8,11 @@ practical decoder does *better* than the bound at low SNR).
 
 Theorem 2 (BSC): with bit-mode encoding over a binary symmetric channel the
 rate should approach ``C_bsc(p) = 1 - H2(p)`` with no constant gap.
+
+Both are registry experiments (``repro run theorem1-gap`` / ``repro run
+theorem2-bsc``); the ``theorem*_experiment`` functions are thin wrappers
+that run the registered spec and adapt the cells to the historical row
+dataclasses.
 """
 
 from __future__ import annotations
@@ -15,13 +20,21 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.core.params import SpinalParams
+from repro.experiments.registry import Experiment, register, run_experiment
 from repro.experiments.runner import (
+    SPINAL_SMOKE,
     SpinalRunConfig,
-    run_spinal_bsc_point,
-    run_spinal_point,
+    awgn_seed_labels,
+    awgn_trial,
+    bsc_seed_labels,
+    bsc_trial,
+    rate_cell_aggregate,
+    require_engine_compatible,
+    spinal_fixed,
+    spinal_overrides,
 )
+from repro.experiments.spec import Axis, Column, PlotSpec, SweepSpec
 from repro.theory.bounds import spinal_awgn_rate_bound, spinal_gap_constant
-from repro.theory.capacity import awgn_capacity_db, bsc_capacity
 from repro.utils.results import render_table
 
 __all__ = [
@@ -31,7 +44,78 @@ __all__ = [
     "Theorem2Row",
     "theorem2_bsc_experiment",
     "theorem2_table",
+    "THEOREM1_EXPERIMENT",
+    "THEOREM2_EXPERIMENT",
 ]
+
+
+def theorem1_point(params, rng) -> dict:
+    """Registry kernel: one spinal trial plus the Theorem-1 rate bound."""
+    metrics = awgn_trial(params, rng)
+    metrics["theorem_rate"] = spinal_awgn_rate_bound(float(params["snr_db"]))
+    return metrics
+
+
+def theorem1_aggregate(params, trials) -> dict:
+    out = rate_cell_aggregate(params, trials)
+    out["measured_gap"] = out["capacity"] - out["rate"]
+    out["beats_bound"] = out["rate"] >= out["theorem_rate"]
+    return out
+
+
+THEOREM1_EXPERIMENT = register(
+    Experiment(
+        name="theorem1-gap",
+        description="E3: capacity gap of the practical decoder vs the Theorem-1 bound",
+        spec=SweepSpec(
+            axes=(Axis("snr_db", (-5.0, 0.0, 5.0, 10.0, 15.0, 20.0), "float"),),
+            fixed=spinal_fixed(payload_bits=32),
+        ),
+        run_point=theorem1_point,
+        columns=(
+            Column("SNR(dB)", "snr_db"),
+            Column("capacity", "capacity"),
+            Column("C - Δ (Thm 1)", "theorem_rate"),
+            Column("measured", "rate"),
+            Column("measured gap", "measured_gap"),
+            Column("beats bound", "beats_bound"),
+        ),
+        n_trials=30,
+        aggregate=theorem1_aggregate,
+        seed_labels=awgn_seed_labels,
+        smoke={**SPINAL_SMOKE, "snr_db": (5.0, 15.0)},
+        plot=PlotSpec(x="snr_db", y="measured_gap", x_label="SNR (dB)", y_label="C - rate"),
+    )
+)
+
+
+def theorem2_point(params, rng) -> dict:
+    """Registry kernel: one bit-mode spinal trial over the BSC."""
+    return bsc_trial(params, rng)
+
+
+THEOREM2_EXPERIMENT = register(
+    Experiment(
+        name="theorem2-bsc",
+        description="E4: bit-mode spinal rate over a BSC against C_bsc(p)",
+        spec=SweepSpec(
+            axes=(Axis("p", (0.01, 0.02, 0.05, 0.1, 0.2, 0.3), "float"),),
+            fixed=spinal_fixed(payload_bits=32, k=4, bit_mode=True),
+        ),
+        run_point=theorem2_point,
+        columns=(
+            Column("p", "p"),
+            Column("C_bsc", "capacity"),
+            Column("measured", "rate"),
+            Column("fraction of capacity", "fraction_of_capacity"),
+        ),
+        n_trials=30,
+        aggregate=rate_cell_aggregate,
+        seed_labels=bsc_seed_labels,
+        smoke={"payload_bits": 16, "k": 4, "beam_width": 8, "n_trials": 2, "p": (0.05,)},
+        plot=PlotSpec(x="p", y="rate", x_label="crossover probability", y_label="bits/bit"),
+    )
+)
 
 
 @dataclass(frozen=True)
@@ -61,18 +145,27 @@ def theorem1_gap_experiment(
     """Measure the capacity gap of the practical decoder across SNR (E3)."""
     if config is None:
         config = SpinalRunConfig(payload_bits=32, n_trials=30)
-    rows = []
-    for snr_db in snr_values_db:
-        measurement = run_spinal_point(config, float(snr_db))
-        rows.append(
-            Theorem1Row(
-                snr_db=float(snr_db),
-                capacity=awgn_capacity_db(float(snr_db)),
-                theorem_rate=spinal_awgn_rate_bound(float(snr_db)),
-                measured_rate=measurement.mean_rate,
-            )
+    require_engine_compatible(config)
+    outcome = run_experiment(
+        THEOREM1_EXPERIMENT,
+        overrides={
+            **spinal_overrides(config),
+            "snr_db": tuple(float(s) for s in snr_values_db),
+        },
+        n_trials=config.n_trials,
+        seed=config.seed,
+        n_workers=config.n_workers,
+    )
+    return [
+        Theorem1Row(
+            snr_db=float(params["snr_db"]),
+            capacity=aggregate["capacity"],
+            theorem_rate=aggregate["theorem_rate"],
+            measured_rate=aggregate["rate"],
         )
-    return rows
+        for _key, params, cell in outcome.successful_cells()
+        for aggregate in (cell["aggregate"],)
+    ]
 
 
 def theorem1_table(rows: list[Theorem1Row]) -> str:
@@ -122,17 +215,25 @@ def theorem2_bsc_experiment(
         )
     if not config.params.bit_mode:
         raise ValueError("theorem2 experiment requires bit-mode parameters")
-    rows = []
-    for p in crossover_probabilities:
-        measurement = run_spinal_bsc_point(config, float(p))
-        rows.append(
-            Theorem2Row(
-                crossover_probability=float(p),
-                capacity=bsc_capacity(float(p)),
-                measured_rate=measurement.mean_rate,
-            )
+    require_engine_compatible(config)
+    outcome = run_experiment(
+        THEOREM2_EXPERIMENT,
+        overrides={
+            **spinal_overrides(config),
+            "p": tuple(float(p) for p in crossover_probabilities),
+        },
+        n_trials=config.n_trials,
+        seed=config.seed,
+        n_workers=config.n_workers,
+    )
+    return [
+        Theorem2Row(
+            crossover_probability=float(params["p"]),
+            capacity=cell["aggregate"]["capacity"],
+            measured_rate=cell["aggregate"]["rate"],
         )
-    return rows
+        for _key, params, cell in outcome.successful_cells()
+    ]
 
 
 def theorem2_table(rows: list[Theorem2Row]) -> str:

@@ -18,11 +18,13 @@ sweep bit-deterministic for any worker count.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field, replace
+from dataclasses import asdict, dataclass, field, replace
 from functools import partial
 
 from repro.core.params import SpinalParams
+from repro.experiments.registry import Experiment, register, run_experiment
 from repro.experiments.runner import SpinalRunConfig
+from repro.experiments.spec import Axis, Column, PlotSpec, SweepSpec
 from repro.link.topology import build_relay_sessions, simulate_relay_transport
 from repro.link.transport import TransportConfig
 from repro.utils.bitops import random_message_bits
@@ -35,6 +37,7 @@ __all__ = [
     "TransportSweepRow",
     "run_transport_sweep",
     "transport_sweep_table",
+    "TRANSPORT_EXPERIMENT",
 ]
 
 
@@ -163,17 +166,142 @@ def _sweep_point(
 def run_transport_sweep(config: TransportSweepConfig) -> list[TransportSweepRow]:
     """Measure every grid point; rows come back in :meth:`grid` order.
 
-    Fan-out goes through :func:`repro.utils.parallel.stride_map` — the same
-    batching/reassembly the Monte-Carlo trial runner uses — so the sweep is
-    bit-identical for any worker count.
+    Standard configurations route through the experiment registry (same
+    stride-mapped fan-out, plus optional persistence via ``repro run
+    transport``); configs with a non-default :class:`SpinalParams` — which
+    the declarative spec does not carry — fall back to the direct
+    stride-mapped sweep.  Both paths are bit-identical for any worker count.
     """
-    return stride_map(partial(_sweep_batch, config), config.grid(), config.n_workers)
+    if config.params != SpinalParams(k=config.params.k, c=config.params.c):
+        return stride_map(partial(_sweep_batch, config), config.grid(), config.n_workers)
+    outcome = run_experiment(
+        TRANSPORT_EXPERIMENT,
+        overrides={
+            "hops": config.hop_counts,
+            "protocol": config.protocols,
+            "window": config.windows,
+            "ack_delay": config.ack_delays,
+            "payload_bits": config.payload_bits,
+            "k": config.params.k,
+            "c": config.params.c,
+            "beam_width": config.beam_width,
+            "adc_bits": config.adc_bits,
+            "puncturing": config.puncturing,
+            "decoder": config.decoder,
+            "snr_db": config.snr_db,
+            "snr_step_db": config.snr_step_db,
+            "n_packets": config.n_packets,
+            "ack_loss": config.ack_loss,
+            "max_symbols": config.max_symbols,
+        },
+        seed=config.seed,
+        n_workers=config.n_workers,
+    )
+    return [
+        TransportSweepRow(**cell["trials"][0])
+        for _key, _params, cell in outcome.successful_cells()
+    ]
 
 
 def _sweep_batch(
     config: TransportSweepConfig, batch: list[tuple[int, tuple[int, str, int, int]]]
 ) -> list[tuple[int, TransportSweepRow]]:
     return [(index, _sweep_point(config, point)) for index, point in batch]
+
+
+def transport_point(params, rng) -> dict:
+    """Registry kernel: simulate one (hops, protocol, window, delay) grid point.
+
+    Deterministic given the parameters — the transport derives every stream
+    from the injected base seed, so the engine-provided ``rng`` is unused.
+    """
+    config = TransportSweepConfig(
+        payload_bits=int(params["payload_bits"]),
+        params=SpinalParams(k=int(params["k"]), c=int(params["c"])),
+        beam_width=int(params["beam_width"]),
+        adc_bits=None if params["adc_bits"] is None else int(params["adc_bits"]),
+        puncturing=str(params["puncturing"]),
+        decoder=str(params["decoder"]),
+        snr_db=float(params["snr_db"]),
+        snr_step_db=float(params["snr_step_db"]),
+        n_packets=int(params["n_packets"]),
+        ack_loss=float(params["ack_loss"]),
+        max_symbols=int(params["max_symbols"]),
+        seed=int(params["seed"]),
+    )
+    row = _sweep_point(
+        config,
+        (
+            int(params["hops"]),
+            str(params["protocol"]),
+            int(params["window"]),
+            int(params["ack_delay"]),
+        ),
+    )
+    return asdict(row)
+
+
+TRANSPORT_EXPERIMENT = register(
+    Experiment(
+        name="transport",
+        description="E15: measured ARQ/relay goodput over protocol × window × RTT × hops",
+        spec=SweepSpec(
+            axes=(
+                Axis("hops", (1, 2), "int"),
+                Axis("protocol", ("go-back-n", "selective-repeat"), "str"),
+                Axis("window", (1, 2, 4), "int"),
+                Axis("ack_delay", (0, 8, 32), "int"),
+            ),
+            fixed={
+                "payload_bits": 24,
+                "k": 8,
+                "c": 10,
+                "beam_width": 16,
+                "adc_bits": 14,
+                "puncturing": "tail-first",
+                "decoder": "incremental",
+                "snr_db": 8.0,
+                "snr_step_db": -2.0,
+                "n_packets": 8,
+                "ack_loss": 0.0,
+                "max_symbols": 4096,
+            },
+        ),
+        run_point=transport_point,
+        columns=(
+            Column("hops", "hops"),
+            Column("protocol", "protocol"),
+            Column("window", "window"),
+            Column("ack delay", "ack_delay"),
+            Column("delivered", "n_delivered"),
+            Column("goodput (b/sym-t)", "goodput"),
+            Column("efficiency", "symbol_efficiency"),
+            Column("symbols", "total_symbols"),
+            Column("makespan", "makespan"),
+        ),
+        n_trials=1,
+        max_trials=1,  # the simulation derives every stream from the base seed
+        smoke={
+            "hops": (1,),
+            "protocol": ("selective-repeat",),
+            "window": (1, 2),
+            "ack_delay": (0,),
+            "n_packets": 2,
+            "max_symbols": 512,
+            "payload_bits": 16,
+            "k": 4,
+            "c": 6,
+            "beam_width": 8,
+        },
+        plot=PlotSpec(
+            x="window",
+            y="goodput",
+            series="protocol",
+            x_label="window size",
+            y_label="goodput",
+        ),
+    )
+)
 
 
 def transport_sweep_table(rows: list[TransportSweepRow]) -> str:

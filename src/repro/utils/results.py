@@ -8,11 +8,32 @@ assertions about distributions, not just means.
 
 from __future__ import annotations
 
+import json
 import math
 from dataclasses import dataclass, field
 from typing import Iterable, Mapping, Sequence
 
-__all__ = ["RateMeasurement", "SweepResult", "render_table", "mean", "std_error"]
+__all__ = [
+    "RateMeasurement",
+    "SweepResult",
+    "render_table",
+    "mean",
+    "std_error",
+    "RESULTS_SCHEMA_VERSION",
+]
+
+#: Version of the ``to_dict``/``from_dict`` serialization layout; bumped on
+#: incompatible changes so persisted documents are never misread.
+RESULTS_SCHEMA_VERSION = 1
+
+
+def _check_schema_version(data: Mapping, expected_kind: str) -> None:
+    version = data.get("schema_version")
+    if version != RESULTS_SCHEMA_VERSION:
+        raise ValueError(
+            f"cannot load {expected_kind}: schema_version {version!r} "
+            f"(supported: {RESULTS_SCHEMA_VERSION})"
+        )
 
 
 def mean(values: Sequence[float]) -> float:
@@ -100,6 +121,35 @@ class RateMeasurement:
             raise ValueError("no trials recorded")
         return sum(self.decoded_ok) / len(self.decoded_ok)
 
+    # -- serialization -------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-native representation (round-trips through :meth:`from_dict`)."""
+        return {
+            "schema_version": RESULTS_SCHEMA_VERSION,
+            "snr_db": self.snr_db,
+            "param": self.param,
+            "rates": list(self.rates),
+            "symbols_sent": list(self.symbols_sent),
+            "decoded_ok": list(self.decoded_ok),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "RateMeasurement":
+        """Rebuild a measurement from :meth:`to_dict` output."""
+        _check_schema_version(data, "RateMeasurement")
+        measurement = cls(
+            snr_db=data["snr_db"],
+            param=data.get("param"),
+        )
+        lengths = {len(data["rates"]), len(data["symbols_sent"]), len(data["decoded_ok"])}
+        if len(lengths) != 1:
+            raise ValueError("rates/symbols_sent/decoded_ok must have equal lengths")
+        for rate, symbols, ok in zip(
+            data["rates"], data["symbols_sent"], data["decoded_ok"]
+        ):
+            measurement.add_trial(rate, symbols, ok)
+        return measurement
+
 
 @dataclass
 class SweepResult:
@@ -124,6 +174,38 @@ class SweepResult:
             (x, p.mean_rate, p.rate_std_error)
             for x, p in zip(self.x_values(), self.points)
         ]
+
+    # -- serialization -------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-native representation (round-trips through :meth:`from_dict`).
+
+        Metadata values that are not JSON-serializable (e.g. a
+        :class:`~repro.experiments.runner.SpinalRunConfig`) are stored as
+        their ``repr`` — the curve data itself always round-trips exactly.
+        """
+        metadata = {}
+        for key, value in self.metadata.items():
+            try:
+                json.dumps(value)
+            except (TypeError, ValueError):
+                value = repr(value)
+            metadata[str(key)] = value
+        return {
+            "schema_version": RESULTS_SCHEMA_VERSION,
+            "name": self.name,
+            "points": [point.to_dict() for point in self.points],
+            "metadata": metadata,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "SweepResult":
+        """Rebuild a sweep from :meth:`to_dict` output."""
+        _check_schema_version(data, "SweepResult")
+        return cls(
+            name=data["name"],
+            points=[RateMeasurement.from_dict(point) for point in data["points"]],
+            metadata=dict(data.get("metadata", {})),
+        )
 
 
 def render_table(

@@ -1,0 +1,91 @@
+"""Versioned JSON results store for registry experiment runs.
+
+Every engine run persists one JSON document per resolved specification,
+named ``<experiment>-<spec_hash[:12]>.json``.  The document is written with
+sorted keys and a fixed layout so that *identical measurements produce
+byte-identical files* — the registry's worker-count-invariance test
+compares the stored bytes of a ``--workers 1`` and a ``--workers 4`` run
+directly.
+
+The store is also the cache: before computing, the engine asks the store
+for an exact-hash record (full resume — nothing recomputed) and, failing
+that, for cells from *compatible* sibling runs of the same experiment
+(same fixed parameters, trial count, and seed; only the axis values
+differ), so extending a sweep grid re-uses every already-measured cell.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Iterator, Mapping
+
+__all__ = ["RunStore", "STORE_SCHEMA_VERSION", "read_run"]
+
+#: Version of the persisted run-record layout.
+STORE_SCHEMA_VERSION = 1
+
+
+def read_run(path: str | Path) -> dict:
+    """Load and validate one persisted run record."""
+    with open(path, "r", encoding="utf-8") as handle:
+        record = json.load(handle)
+    if not isinstance(record, dict) or "schema_version" not in record:
+        raise ValueError(f"{path}: not a run record (missing schema_version)")
+    version = record["schema_version"]
+    if version != STORE_SCHEMA_VERSION:
+        raise ValueError(
+            f"{path}: schema_version {version} is not supported "
+            f"(expected {STORE_SCHEMA_VERSION})"
+        )
+    for field in ("experiment", "spec", "spec_hash", "cells"):
+        if field not in record:
+            raise ValueError(f"{path}: run record is missing {field!r}")
+    return record
+
+
+class RunStore:
+    """Directory of persisted experiment runs, keyed by spec content hash."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+
+    def path_for(self, experiment: str, spec_hash: str) -> Path:
+        return self.root / f"{experiment}-{spec_hash[:12]}.json"
+
+    def save(self, record: Mapping) -> Path:
+        """Persist one run record; the write is deterministic and atomic.
+
+        ``sort_keys`` plus a fixed indent make re-saving the same
+        measurements produce the same bytes; the temp-file rename keeps a
+        crashed run from leaving a truncated record that would poison the
+        cache.
+        """
+        self.root.mkdir(parents=True, exist_ok=True)
+        path = self.path_for(record["experiment"], record["spec_hash"])
+        payload = json.dumps(record, sort_keys=True, indent=1) + "\n"
+        tmp_path = path.with_suffix(".json.tmp")
+        with open(tmp_path, "w", encoding="utf-8") as handle:
+            handle.write(payload)
+        os.replace(tmp_path, path)
+        return path
+
+    def load_exact(self, experiment: str, spec_hash: str) -> dict | None:
+        """Return the record for this exact spec hash, or None."""
+        path = self.path_for(experiment, spec_hash)
+        if not path.exists():
+            return None
+        return read_run(path)
+
+    def iter_records(self, experiment: str) -> Iterator[dict]:
+        """Yield every readable record of one experiment, any spec hash."""
+        if not self.root.is_dir():
+            return
+        for path in sorted(self.root.glob(f"{experiment}-*.json")):
+            try:
+                record = read_run(path)
+            except (ValueError, json.JSONDecodeError, OSError):
+                continue
+            if record["experiment"] == experiment:
+                yield record

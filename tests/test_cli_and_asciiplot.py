@@ -35,6 +35,76 @@ class TestAsciiPlot:
             ascii_plot([0.0, 1.0], {"a": [1.0]})
 
 
+class TestRegistryCommands:
+    """The registry-backed ``list`` / ``run`` / ``report`` commands."""
+
+    def test_list_enumerates_experiments(self):
+        output = main(["list"])
+        for name in ("rate", "figure2", "transport", "k-sweep", "puncturing"):
+            assert name in output
+
+    def test_list_markdown_is_a_table(self):
+        output = main(["list", "--markdown"])
+        assert output.startswith("| Experiment |")
+        assert "| `rate` |" in output
+
+    def test_run_smoke_persists_and_reports(self, tmp_path):
+        out_dir = str(tmp_path / "results")
+        output = main(["run", "rate", "--smoke", "--out", out_dir])
+        assert "rate (b/sym)" in output
+        assert "1 cells computed, 0 from cache" in output
+        run_files = list((tmp_path / "results").glob("rate-*.json"))
+        assert len(run_files) == 1
+        # Re-running the same spec recomputes nothing.
+        again = main(["run", "rate", "--smoke", "--out", out_dir])
+        assert "0 cells computed, 1 from cache" in again
+        # And the report re-renders the same table from the JSON alone.
+        report = main(["report", str(run_files[0])])
+        table_lines = [line for line in output.splitlines() if "10.000" in line]
+        assert table_lines and all(line in report for line in table_lines)
+
+    def test_run_set_overrides_axis_and_workers_match(self, tmp_path):
+        base = [
+            "run", "rate", "--smoke", "--set", "snr_db=5,10",
+            "--out", str(tmp_path / "a"),
+        ]
+        serial = main(base)
+        parallel = main(
+            ["run", "rate", "--smoke", "--set", "snr_db=5,10", "-j", "3",
+             "--out", str(tmp_path / "b")]
+        )
+        strip = lambda text: text.split("saved:")[0]  # noqa: E731
+        assert strip(parallel) == strip(serial)
+        a_file = next((tmp_path / "a").glob("rate-*.json"))
+        b_file = next((tmp_path / "b").glob("rate-*.json"))
+        assert a_file.read_bytes() == b_file.read_bytes()
+
+    def test_run_no_save(self, tmp_path):
+        output = main(
+            ["run", "distance", "--smoke", "--no-save", "--out", str(tmp_path)]
+        )
+        assert "saved:" not in output
+        assert not list(tmp_path.glob("*.json"))
+
+    def test_run_plot(self, tmp_path):
+        output = main(
+            ["run", "rate", "--smoke", "--set", "snr_db=5,10,15", "--plot",
+             "--no-save", "--out", str(tmp_path)]
+        )
+        assert "SNR (dB)" in output  # chart x label
+
+    def test_run_requires_name_or_all(self):
+        with pytest.raises(ValueError, match="exactly one"):
+            main(["run"])
+        with pytest.raises(ValueError, match="exactly one"):
+            main(["run", "rate", "--all"])
+
+    def test_run_rejects_unknown_set_name(self, tmp_path):
+        with pytest.raises(ValueError, match="unknown parameter"):
+            main(["run", "rate", "--smoke", "--set", "bogus=1",
+                  "--out", str(tmp_path)])
+
+
 class TestParser:
     def test_rate_command_defaults(self):
         args = build_parser().parse_args(["rate", "10"])

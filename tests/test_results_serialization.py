@@ -1,0 +1,109 @@
+"""Golden-file regression tests for the results serialization layer.
+
+``RateMeasurement`` and ``SweepResult`` round-trip through versioned
+JSON-native dictionaries.  The golden files under ``tests/golden/`` pin the
+layout: if serialization changes shape, these tests fail until the schema
+version is bumped and the goldens are regenerated deliberately.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.runner import SpinalRunConfig
+from repro.utils.results import RESULTS_SCHEMA_VERSION, RateMeasurement, SweepResult
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+
+def _load_golden(name: str) -> dict:
+    with open(GOLDEN_DIR / name, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+class TestRateMeasurementSerialization:
+    def _measurement(self) -> RateMeasurement:
+        measurement = RateMeasurement(snr_db=10.0)
+        measurement.add_trial(2.0, symbols=12, ok=True)
+        measurement.add_trial(4.0, symbols=6, ok=True)
+        measurement.add_trial(3.2, symbols=10, ok=False)
+        return measurement
+
+    def test_to_dict_matches_golden(self):
+        assert self._measurement().to_dict() == _load_golden("rate_measurement_v1.json")
+
+    def test_golden_round_trip(self):
+        golden = _load_golden("rate_measurement_v1.json")
+        measurement = RateMeasurement.from_dict(golden)
+        assert measurement.to_dict() == golden
+        assert measurement.n_trials == 3
+        assert measurement.mean_rate == pytest.approx((2.0 + 4.0 + 3.2) / 3)
+        assert measurement.decoded_ok == [True, True, False]
+
+    def test_json_round_trip(self):
+        measurement = self._measurement()
+        rebuilt = RateMeasurement.from_dict(json.loads(json.dumps(measurement.to_dict())))
+        assert rebuilt == measurement
+
+    def test_bsc_param_round_trips(self):
+        measurement = RateMeasurement(snr_db=None, param=0.05)
+        measurement.add_trial(0.5, 48, True)
+        rebuilt = RateMeasurement.from_dict(measurement.to_dict())
+        assert rebuilt.snr_db is None
+        assert rebuilt.param == 0.05
+
+    def test_schema_version_is_checked(self):
+        bad = self._measurement().to_dict()
+        bad["schema_version"] = RESULTS_SCHEMA_VERSION + 1
+        with pytest.raises(ValueError, match="schema_version"):
+            RateMeasurement.from_dict(bad)
+
+    def test_ragged_lists_rejected(self):
+        bad = self._measurement().to_dict()
+        bad["rates"] = bad["rates"][:-1]
+        with pytest.raises(ValueError, match="equal lengths"):
+            RateMeasurement.from_dict(bad)
+
+
+class TestSweepResultSerialization:
+    def _sweep(self) -> SweepResult:
+        sweep = SweepResult(name="Spinal demo curve")
+        point_a = RateMeasurement(snr_db=0.0)
+        point_a.add_trial(0.75, 32, True)
+        point_b = RateMeasurement(snr_db=None, param=0.05)
+        point_b.add_trial(0.5, 48, True)
+        point_b.add_trial(0.625, 40, True)
+        sweep.add_point(point_a)
+        sweep.add_point(point_b)
+        sweep.metadata = {
+            "config": "SpinalRunConfig(payload_bits=24)",
+            "note": "golden",
+        }
+        return sweep
+
+    def test_to_dict_matches_golden(self):
+        assert self._sweep().to_dict() == _load_golden("sweep_result_v1.json")
+
+    def test_golden_round_trip(self):
+        golden = _load_golden("sweep_result_v1.json")
+        sweep = SweepResult.from_dict(golden)
+        assert sweep.to_dict() == golden
+        assert sweep.name == "Spinal demo curve"
+        assert sweep.x_values() == [0.0, 0.05]
+        assert sweep.mean_rates() == [0.75, pytest.approx(0.5625)]
+
+    def test_non_jsonable_metadata_degrades_to_repr(self):
+        sweep = SweepResult(name="curve", metadata={"config": SpinalRunConfig()})
+        document = sweep.to_dict()
+        json.dumps(document)  # must be serializable as a whole
+        assert isinstance(document["metadata"]["config"], str)
+        assert "SpinalRunConfig" in document["metadata"]["config"]
+
+    def test_schema_version_is_checked(self):
+        bad = self._sweep().to_dict()
+        bad["schema_version"] = 99
+        with pytest.raises(ValueError, match="schema_version"):
+            SweepResult.from_dict(bad)
