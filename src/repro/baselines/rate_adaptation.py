@@ -13,17 +13,32 @@ rateless spinal session over the same time-varying channels:
   configuration whose threshold is below the *observed* SNR, where the
   observation can lag the true channel (staleness is the classic failure
   mode the paper points to).
+
+:class:`RateAdaptationPolicy` is menu-agnostic: anything hashable with a
+``nominal_rate`` attribute (see :class:`RateOption`) can populate it, so the
+same policy drives the LDPC baseline here and the fixed-rate *spinal* menu
+the multi-user cell baseline uses (:mod:`repro.mac.adaptive`).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Protocol, runtime_checkable
 
 import numpy as np
 
 from repro.baselines.ldpc_system import FIGURE2_LDPC_CONFIGS, FixedRateLdpcSystem, LdpcConfig
 
-__all__ = ["ThresholdRateAdapter", "RateAdaptationPolicy"]
+__all__ = ["RateOption", "ThresholdRateAdapter", "RateAdaptationPolicy"]
+
+
+@runtime_checkable
+class RateOption(Protocol):
+    """One entry of a rate-adaptation menu: a hashable config with a rate."""
+
+    @property
+    def nominal_rate(self) -> float:  # pragma: no cover - protocol stub
+        ...
 
 
 @dataclass
@@ -35,15 +50,15 @@ class RateAdaptationPolicy:
     back to the most robust one (lowest threshold).
     """
 
-    configs: tuple[LdpcConfig, ...]
-    thresholds: dict[LdpcConfig, float]
+    configs: tuple[RateOption, ...]
+    thresholds: dict[RateOption, float]
 
     def __post_init__(self) -> None:
         missing = [c for c in self.configs if c not in self.thresholds]
         if missing:
             raise ValueError(f"missing thresholds for configs: {missing}")
 
-    def select(self, observed_snr_db: float) -> LdpcConfig:
+    def select(self, observed_snr_db: float) -> RateOption:
         usable = [c for c in self.configs if observed_snr_db >= self.thresholds[c]]
         if not usable:
             return min(self.configs, key=lambda c: self.thresholds[c])

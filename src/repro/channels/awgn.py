@@ -116,6 +116,21 @@ class TimeVaryingAWGNChannel(SymbolChannel):
     def reset(self) -> None:
         self._cursor = 0
 
+    def set_time(self, time: int) -> None:
+        """Pin the trace cursor to an external clock tick.
+
+        By default the trace is indexed by the symbols *this channel* has
+        carried (conditions vary over a single sender's transmission).  A
+        multi-user simulator instead owns one shared wall clock and calls
+        ``set_time(now)`` before each grant, so a user's channel keeps
+        evolving while others transmit — the regime where opportunistic
+        scheduling has something to exploit (see :mod:`repro.mac.cell`).
+        """
+        time = int(time)
+        if time < 0:
+            raise ValueError(f"time must be non-negative, got {time}")
+        self._cursor = time
+
     @property
     def mean_snr_db(self) -> float:
         return float(self.snr_trace_db.mean())

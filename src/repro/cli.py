@@ -10,8 +10,9 @@ The registry commands work for *every* experiment in
   persistence to a JSON results store (``--out``, default ``results/``);
   re-running a spec resumes from its cached cells, ``--smoke`` shrinks every
   experiment to a seconds-scale configuration;
-* ``report`` — re-render the table (and ``--plot`` chart) of a persisted
-  run file without recomputing anything.
+* ``report`` — re-render the table (``--csv`` for machine-readable output,
+  ``--plot`` for an ASCII chart) of a persisted run file without
+  recomputing anything; failed cells render as footnoted rows either way.
 
 The historical commands remain as thin back-compat aliases over the same
 registry:
@@ -37,7 +38,12 @@ import argparse
 
 from repro.experiments import registry
 from repro.experiments.figure2 import figure2_table
-from repro.experiments.registry import render_run, render_run_plot, run_experiment
+from repro.experiments.registry import (
+    render_run,
+    render_run_csv,
+    render_run_plot,
+    run_experiment,
+)
 from repro.experiments.transport_sweep import (
     TransportSweepConfig,
     run_transport_sweep,
@@ -141,6 +147,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     report.add_argument("run_file", help="path to a results-store JSON file")
     report.add_argument("--plot", action="store_true", help="also print an ASCII chart")
+    report.add_argument(
+        "--csv",
+        action="store_true",
+        help="emit CSV instead of the table (error cells become footnoted rows)",
+    )
 
     rate = subparsers.add_parser("rate", help="spinal rate over AWGN at given SNRs")
     rate.add_argument("snrs", type=float, nargs="+", help="SNR values in dB")
@@ -320,6 +331,10 @@ def _command_report(args: argparse.Namespace) -> str:
     registry.load_all()
     record = read_run(args.run_file)
     experiment = registry.get(record["experiment"])
+    if args.csv:
+        if args.plot:
+            raise ValueError("--csv cannot be combined with --plot")
+        return render_run_csv(experiment, record)
     header = (
         f"{record['experiment']}: {record.get('description', experiment.description)}\n"
         f"spec hash {record['spec_hash']} · seed {record['seed']} · "

@@ -26,7 +26,9 @@ functions so experiments pickle across process boundaries.
 
 from __future__ import annotations
 
+import csv
 import importlib
+import io
 from dataclasses import dataclass, field
 from functools import partial
 from pathlib import Path
@@ -58,6 +60,7 @@ __all__ = [
     "load_all",
     "run_experiment",
     "render_run",
+    "render_run_csv",
     "render_run_plot",
     "default_aggregate",
     "catalog",
@@ -82,6 +85,8 @@ EXPERIMENT_MODULES = (
     "repro.experiments.feedback",
     "repro.experiments.fixed_vs_rateless",
     "repro.experiments.transport_sweep",
+    "repro.experiments.cell_scaling",
+    "repro.experiments.cell_rateless_vs_adaptive",
 )
 
 _REGISTRY: dict[str, "Experiment"] = {}
@@ -534,38 +539,74 @@ def _lookup(column: Column, aggregate: Mapping, params: Mapping, fixed: Mapping)
     return ""
 
 
-def render_run(experiment: Experiment, record: Mapping) -> str:
-    """Render a (possibly reloaded) run record as the experiment's table."""
+def _iter_report_rows(experiment: Experiment, record: Mapping):
+    """Yield one ``(key, values, error)`` triple per persisted cell, in order.
+
+    ``values`` holds the experiment's column values looked up in the cell's
+    aggregate, its axis params, then the spec's fixed parameters; for an
+    error cell the aggregate is withheld, so metric columns come back as
+    ``""`` while real axis values — including falsy ones like 0 — keep the
+    failed cell's coordinates readable.  ``error`` is the structured
+    failure text (None for healthy cells).  The table and CSV renderers
+    share this traversal so the two formats cannot drift apart.
+    """
     spec = SweepSpec.from_dict(record["spec"])
-    headers = [column.header for column in experiment.columns]
-    rows = []
-    errors = []
-    for key, params in spec.cells():
+    for key, _params in spec.cells():
         cell = record["cells"].get(key)
         if cell is None:
             continue
         aggregate = cell.get("aggregate", {})
-        if "error" in aggregate:
-            errors.append(f"{key}: {aggregate['error']}")
-            row = []
-            for column in experiment.columns:
-                value = _lookup(column, {}, cell.get("params", {}), spec.fixed)
-                # Only lookup *misses* (metrics that never got computed)
-                # become the ERR marker; real axis values — including falsy
-                # ones like 0 — keep the failed cell's coordinates readable.
-                row.append("ERR" if value == "" else value)
-            rows.append(row)
-            continue
-        rows.append(
-            [
-                _lookup(column, aggregate, cell.get("params", {}), spec.fixed)
-                for column in experiment.columns
-            ]
-        )
+        error = aggregate["error"] if "error" in aggregate else None
+        values = [
+            _lookup(column, {} if error is not None else aggregate,
+                    cell.get("params", {}), spec.fixed)
+            for column in experiment.columns
+        ]
+        yield key, values, error
+
+
+def render_run(experiment: Experiment, record: Mapping) -> str:
+    """Render a (possibly reloaded) run record as the experiment's table."""
+    headers = [column.header for column in experiment.columns]
+    rows = []
+    errors = []
+    for key, values, error in _iter_report_rows(experiment, record):
+        if error is not None:
+            errors.append(f"{key}: {error}")
+            # Only lookup *misses* (metrics that never got computed) become
+            # the ERR marker.
+            rows.append(["ERR" if value == "" else value for value in values])
+        else:
+            rows.append(values)
     table = render_table(headers, rows)
     if errors:
         table += "\n\nfailed cells:\n" + "\n".join(f"  {line}" for line in errors)
     return table
+
+
+def render_run_csv(experiment: Experiment, record: Mapping) -> str:
+    """Render a (possibly reloaded) run record as CSV.
+
+    Cells whose aggregate is a structured ``{"error": ...}`` record are not
+    omitted: they become a row carrying the cell's axis coordinates, empty
+    metric fields, and a ``note`` marker referencing a footnote line
+    (``# [n] <cell>: <error>``) appended after the data — so downstream
+    tooling sees every grid point and humans see why one is blank.
+    """
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow([column.header for column in experiment.columns] + ["note"])
+    footnotes: list[str] = []
+    for key, values, error in _iter_report_rows(experiment, record):
+        if error is not None:
+            footnotes.append(f"[{len(footnotes) + 1}] {key}: {error}")
+            writer.writerow(values + [f"[{len(footnotes)}]"])
+        else:
+            writer.writerow(values + [""])
+    text = buffer.getvalue()
+    if footnotes:
+        text += "".join(f"# {line}\n" for line in footnotes)
+    return text
 
 
 def render_run_plot(experiment: Experiment, record: Mapping) -> str | None:
@@ -604,6 +645,7 @@ def render_run_plot(experiment: Experiment, record: Mapping) -> str | None:
         curves,
         x_label=plot.x_label or plot.x,
         y_label=plot.y_label or plot.y,
+        connect=True,
     )
 
 

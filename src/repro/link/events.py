@@ -1,4 +1,4 @@
-"""Deterministic discrete-event scheduler for the link-transport simulator.
+"""Deterministic discrete-event scheduler for the link and MAC simulators.
 
 Time is measured in integer *symbol-times* (one tick per forward-channel
 use), the natural clock of a rateless link: every cost the transport layer
@@ -20,6 +20,17 @@ zero-delay lossless reverse channel the sender *always* learns of a decode
 before it can spend another symbol on that packet — which is what makes the
 transport reproduce :class:`~repro.link.feedback.PerfectFeedback` symbol
 counts exactly (an equivalence pinned by the test suite).
+
+:meth:`EventScheduler.schedule` returns an :class:`EventHandle` that can be
+:meth:`~EventHandle.cancel`-led before it fires — the multi-user cell
+simulator (:mod:`repro.mac.cell`) uses handles for per-packet deadline
+timers that are disarmed when the packet delivers first.  Cancellation is
+lazy (the heap entry is skipped when popped), so a cancelled event costs
+nothing and never perturbs the ordering of live events; a run with no
+cancellations is therefore bit-identical to the pre-handle scheduler.
+:meth:`EventScheduler.run_until` additionally lets a caller step the clock
+to a chosen instant — scheduler studies advance a cell epoch by epoch and
+inspect metrics between epochs.
 """
 
 from __future__ import annotations
@@ -28,6 +39,7 @@ import heapq
 from typing import Callable
 
 __all__ = [
+    "EventHandle",
     "EventScheduler",
     "PRIORITY_BLOCK",
     "PRIORITY_ACK",
@@ -37,6 +49,40 @@ __all__ = [
 PRIORITY_BLOCK = 0
 PRIORITY_ACK = 1
 PRIORITY_SEND = 2
+
+
+class EventHandle:
+    """A cancellable reference to one scheduled event.
+
+    Cancelling is idempotent and only effective before the event fires;
+    cancelling an already-processed event is a no-op.
+    """
+
+    __slots__ = ("time", "_scheduler", "_live")
+
+    def __init__(self, scheduler: "EventScheduler", time: int) -> None:
+        self._scheduler = scheduler
+        self._live = True
+        #: The tick this event is scheduled for (informational).
+        self.time = time
+
+    @property
+    def cancelled(self) -> bool:
+        return not self._live
+
+    def cancel(self) -> None:
+        """Prevent the event from firing (no-op if it already fired)."""
+        if self._live:
+            self._live = False
+            self._scheduler._n_cancelled += 1
+
+    def _fire(self) -> bool:
+        """Mark the event consumed; return whether it was still live."""
+        if not self._live:
+            self._scheduler._n_cancelled -= 1
+            return False
+        self._live = False
+        return True
 
 
 class EventScheduler:
@@ -49,22 +95,31 @@ class EventScheduler:
     """
 
     def __init__(self) -> None:
-        self._heap: list[tuple[int, int, int, Callable[[], None]]] = []
+        self._heap: list[tuple[int, int, int, EventHandle, Callable[[], None]]] = []
         self._counter = 0
+        self._n_cancelled = 0
         self.now = 0
 
-    def schedule(self, time: int, priority: int, action: Callable[[], None]) -> None:
-        """Enqueue ``action`` to run at ``time`` (must not be in the past)."""
+    def schedule(
+        self, time: int, priority: int, action: Callable[[], None]
+    ) -> EventHandle:
+        """Enqueue ``action`` to run at ``time`` (must not be in the past).
+
+        Returns an :class:`EventHandle` that can cancel the event before it
+        fires.
+        """
         time = int(time)
         if time < self.now:
             raise ValueError(f"cannot schedule at {time} before current time {self.now}")
-        heapq.heappush(self._heap, (time, priority, self._counter, action))
+        handle = EventHandle(self, time)
+        heapq.heappush(self._heap, (time, priority, self._counter, handle, action))
         self._counter += 1
+        return handle
 
     @property
     def pending(self) -> int:
-        """Number of events still queued."""
-        return len(self._heap)
+        """Number of live (non-cancelled) events still queued."""
+        return len(self._heap) - self._n_cancelled
 
     def run(self, max_events: int | None = None) -> int:
         """Process events until the queue drains; return the number processed.
@@ -72,11 +127,35 @@ class EventScheduler:
         ``max_events`` is a liveness guard: a correct transport always
         drains (every packet either decodes or exhausts its symbol budget),
         so exceeding the bound indicates a protocol bug and raises rather
-        than spinning forever.
+        than spinning forever.  Cancelled events are skipped and do not
+        count against the bound.
         """
+        return self._run(until=None, max_events=max_events)
+
+    def run_until(self, time: int, max_events: int | None = None) -> int:
+        """Process every event scheduled at or before ``time``, then set
+        ``now = time``; return the number of events processed.
+
+        Lets callers step a simulation epoch by epoch: events strictly
+        after ``time`` stay queued, and the clock lands exactly on ``time``
+        even if no event fires there (so a subsequent ``schedule`` cannot
+        land in the stepped-over past).
+        """
+        time = int(time)
+        if time < self.now:
+            raise ValueError(f"cannot run until {time}, already at {self.now}")
+        processed = self._run(until=time, max_events=max_events)
+        self.now = max(self.now, time)
+        return processed
+
+    def _run(self, until: int | None, max_events: int | None) -> int:
         processed = 0
         while self._heap:
-            time, _, _, action = heapq.heappop(self._heap)
+            if until is not None and self._heap[0][0] > until:
+                break
+            time, _, _, handle, action = heapq.heappop(self._heap)
+            if not handle._fire():
+                continue  # cancelled: skip without advancing the clock
             self.now = time
             action()
             processed += 1

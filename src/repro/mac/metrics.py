@@ -1,0 +1,151 @@
+"""Network-level metrics of a multi-user cell run.
+
+The paper's argument is won or lost on these numbers: *aggregate* goodput
+(does removing the rate-adaptation loop cost cell capacity?), *per-user*
+goodput and Jain's fairness index (does the win come at someone's expense?),
+and packet latency (does rateless stopping keep delay bounded?).  All of
+them are pure functions of the per-packet records a cell run produces, so a
+persisted experiment cell can be re-analysed without re-simulating.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["PacketOutcome", "CellResult", "jain_fairness_index"]
+
+
+def jain_fairness_index(values: Sequence[float]) -> float:
+    """Jain's fairness index ``(sum x)^2 / (n * sum x^2)`` of ``values``.
+
+    1.0 means perfectly equal shares; ``1/n`` means one user got
+    everything.  An all-zero allocation is vacuously fair (1.0), so a cell
+    in which nothing was delivered does not report maximal unfairness.
+    """
+    x = np.asarray(list(values), dtype=np.float64)
+    if x.size == 0:
+        raise ValueError("fairness of an empty allocation is undefined")
+    if np.any(x < 0):
+        raise ValueError("fairness expects non-negative allocations")
+    square_sum = float(np.sum(x * x))
+    if square_sum == 0.0:
+        return 1.0
+    return float(np.sum(x)) ** 2 / (x.size * square_sum)
+
+
+@dataclass(frozen=True)
+class PacketOutcome:
+    """The fate of one uplink packet.
+
+    ``symbols_sent`` counts every channel use the sender spent on the
+    packet (including failed fixed-rate attempts and aborted budgets);
+    ``symbols_needed`` the uses the receiver had consumed when it decoded
+    (0 for undelivered packets).  ``completed`` is the cell time of
+    delivery or abort (-1 if the cell ended with the packet still queued,
+    which only happens when stepping a cell with ``run_until``).
+    """
+
+    user: int
+    index: int
+    arrival: int
+    completed: int
+    delivered: bool
+    symbols_sent: int
+    symbols_needed: int
+    payload_bits: int
+
+    @property
+    def latency(self) -> int:
+        """Arrival-to-delivery time in symbol-times (delivered packets only)."""
+        if not self.delivered:
+            raise ValueError("latency is undefined for an undelivered packet")
+        return self.completed - self.arrival
+
+
+@dataclass(frozen=True)
+class CellResult:
+    """Everything one cell simulation measured."""
+
+    scheduler: str
+    n_users: int
+    packets: tuple[PacketOutcome, ...]
+    makespan: int
+
+    # -- totals --------------------------------------------------------------
+    @property
+    def n_packets(self) -> int:
+        return len(self.packets)
+
+    @property
+    def n_delivered(self) -> int:
+        return sum(1 for p in self.packets if p.delivered)
+
+    @property
+    def delivered_fraction(self) -> float:
+        if not self.packets:
+            return 1.0
+        return self.n_delivered / self.n_packets
+
+    @property
+    def delivered_bits(self) -> int:
+        return sum(p.payload_bits for p in self.packets if p.delivered)
+
+    @property
+    def total_symbols_sent(self) -> int:
+        return sum(p.symbols_sent for p in self.packets)
+
+    @property
+    def aggregate_goodput(self) -> float:
+        """Delivered payload bits per symbol-time of cell wall-clock."""
+        if self.makespan == 0:
+            return 0.0
+        return self.delivered_bits / self.makespan
+
+    # -- per-user ------------------------------------------------------------
+    def per_user_delivered_bits(self) -> np.ndarray:
+        bits = np.zeros(self.n_users, dtype=np.int64)
+        for packet in self.packets:
+            if packet.delivered:
+                bits[packet.user] += packet.payload_bits
+        return bits
+
+    def per_user_goodput(self) -> np.ndarray:
+        """Each user's delivered bits per symbol-time of *shared* wall-clock."""
+        if self.makespan == 0:
+            return np.zeros(self.n_users, dtype=np.float64)
+        return self.per_user_delivered_bits() / float(self.makespan)
+
+    def per_user_symbols(self) -> np.ndarray:
+        symbols = np.zeros(self.n_users, dtype=np.int64)
+        for packet in self.packets:
+            symbols[packet.user] += packet.symbols_sent
+        return symbols
+
+    @property
+    def jain_fairness(self) -> float:
+        """Jain index of the per-user goodput allocation."""
+        return jain_fairness_index(self.per_user_goodput())
+
+    # -- latency -------------------------------------------------------------
+    def latencies(self) -> np.ndarray:
+        """Arrival-to-delivery times of the delivered packets, in order."""
+        return np.array(
+            [p.latency for p in self.packets if p.delivered], dtype=np.int64
+        )
+
+    @property
+    def mean_latency(self) -> float:
+        latencies = self.latencies()
+        if latencies.size == 0:
+            return 0.0
+        return float(latencies.mean())
+
+    def latency_percentile(self, q: float) -> float:
+        """The ``q``-th percentile of delivered-packet latency (0 if none)."""
+        latencies = self.latencies()
+        if latencies.size == 0:
+            return 0.0
+        return float(np.percentile(latencies, q))

@@ -22,6 +22,7 @@ def ascii_plot(
     height: int = 18,
     x_label: str = "x",
     y_label: str = "y",
+    connect: bool = False,
 ) -> str:
     """Render one or more series as an ASCII chart.
 
@@ -33,6 +34,12 @@ def ascii_plot(
         Mapping from series name to y values (same length as ``x_values``).
     width, height:
         Plot area size in characters (excluding axes and labels).
+    connect:
+        Also draw interpolated line segments between a series' consecutive
+        points (with the series' own marker), so sparse multi-series charts
+        — one curve per scheduler, say — read as curves rather than
+        scattered dots.  Segments never overwrite an occupied cell; the
+        exact data points are drawn last and always win.
     """
     if width < 8 or height < 4:
         raise ValueError("plot area must be at least 8x4 characters")
@@ -66,8 +73,21 @@ def ascii_plot(
 
     for index, (name, y_values) in enumerate(series.items()):
         marker = _MARKERS[index % len(_MARKERS)]
-        for x, y in zip(x_list, y_values):
-            grid[to_row(float(y))][to_column(x)] = marker
+        points = [
+            (to_column(x), to_row(float(y))) for x, y in zip(x_list, y_values)
+        ]
+        if connect:
+            for (c0, r0), (c1, r1) in zip(points, points[1:]):
+                if c1 < c0:
+                    c0, r0, c1, r1 = c1, r1, c0, r0
+                span = c1 - c0
+                for column in range(c0, c1 + 1):
+                    t = 0.0 if span == 0 else (column - c0) / span
+                    row = int(round(r0 + t * (r1 - r0)))
+                    if grid[row][column] == " ":
+                        grid[row][column] = marker
+        for column, row in points:
+            grid[row][column] = marker
 
     lines = []
     for row_index, row in enumerate(grid):

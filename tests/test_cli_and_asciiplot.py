@@ -223,3 +223,65 @@ class TestMainEndToEnd:
         assert "window size" in output  # the ASCII chart axis label
         # Workers are a wall-clock knob only: rendered output is identical.
         assert main(base + ["--workers", "2"]) == output
+
+
+class TestAsciiPlotConnect:
+    def test_connect_draws_interpolated_segments(self):
+        x = [0.0, 10.0]
+        series = {"line": [0.0, 10.0]}
+        dots = ascii_plot(x, series)
+        connected = ascii_plot(x, series, connect=True)
+        assert dots.count("*") == 3  # two data points plus the legend marker
+        assert connected.count("*") > 10  # the segment fills the diagonal
+
+    def test_connect_preserves_exact_points_across_series(self):
+        x = [0.0, 1.0, 2.0]
+        series = {"a": [0.0, 2.0, 0.0], "b": [2.0, 0.0, 2.0]}
+        chart = ascii_plot(x, series, connect=True)
+        assert "*" in chart and "o" in chart
+
+
+class TestReportCsv:
+    def _run_file(self, tmp_path, *extra):
+        out_dir = str(tmp_path / "results")
+        main(["run", "rate", "--smoke", *extra, "--out", out_dir])
+        return str(next((tmp_path / "results").glob("rate-*.json")))
+
+    def test_csv_round_trips_through_the_csv_module(self, tmp_path):
+        import csv as csv_module
+        import io
+
+        run_file = self._run_file(tmp_path, "--set", "snr_db=5,10")
+        output = main(["report", run_file, "--csv"])
+        rows = list(csv_module.reader(io.StringIO(output)))
+        assert rows[0] == ["SNR(dB)", "capacity", "rate (b/sym)", "stderr", "note"]
+        assert len(rows) == 3
+        assert [row[0] for row in rows[1:]] == ["5.0", "10.0"]
+        assert all(row[-1] == "" for row in rows[1:])  # no footnotes
+        assert float(rows[2][2]) > 0.0
+
+    def test_error_cells_become_footnoted_rows_not_crashes(self, tmp_path):
+        # A kernel-level failure (invalid symbol budget) must render as a
+        # footnoted row in *both* the table and the CSV — never a crash,
+        # never a silently missing grid point.
+        run_file = self._run_file(tmp_path, "--set", "max_symbols=-5")
+        table = main(["report", run_file])
+        assert "failed cells" in table
+        assert "max_symbols must be positive" in table
+        csv_text = main(["report", run_file, "--csv"])
+        lines = csv_text.splitlines()
+        assert lines[1].startswith("10.0,")  # the cell's coordinates survive
+        assert lines[1].endswith("[1]")  # ...with a footnote marker
+        assert lines[2].startswith("# [1] snr_db=10.0:")
+        assert "max_symbols must be positive" in lines[2]
+
+    def test_cell_scaling_report_plots_per_scheduler_curves(self, tmp_path):
+        out_dir = str(tmp_path / "results")
+        main(["run", "cell-scaling", "--smoke", "--out", out_dir])
+        run_file = str(next((tmp_path / "results").glob("cell-scaling-*.json")))
+        output = main(["report", run_file, "--plot"])
+        for name in ("round-robin", "max-snr", "proportional-fair"):
+            assert f"scheduler={name}" in output  # one legend entry per curve
+        assert "users in the cell" in output
+        csv_text = main(["report", run_file, "--csv"])
+        assert csv_text.splitlines()[0].startswith("users,scheduler,")

@@ -1,0 +1,158 @@
+"""Tests for the discrete-event scheduler: ordering, handles, run_until.
+
+The transport equivalence suite pins that a run with no cancellations is
+behaviourally identical to the pre-handle scheduler; this file covers the
+new surface itself — cancellable handles and epoch stepping.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.link.events import (
+    PRIORITY_ACK,
+    PRIORITY_BLOCK,
+    PRIORITY_SEND,
+    EventScheduler,
+)
+
+
+class TestOrdering:
+    def test_time_then_priority_then_fifo(self):
+        scheduler = EventScheduler()
+        log = []
+        scheduler.schedule(5, PRIORITY_SEND, lambda: log.append("send@5"))
+        scheduler.schedule(5, PRIORITY_BLOCK, lambda: log.append("block@5"))
+        scheduler.schedule(5, PRIORITY_ACK, lambda: log.append("ack@5"))
+        scheduler.schedule(3, PRIORITY_SEND, lambda: log.append("send@3"))
+        scheduler.schedule(5, PRIORITY_BLOCK, lambda: log.append("block2@5"))
+        scheduler.run()
+        assert log == ["send@3", "block@5", "block2@5", "ack@5", "send@5"]
+        assert scheduler.now == 5
+
+    def test_rejects_past_events(self):
+        scheduler = EventScheduler()
+        scheduler.schedule(4, PRIORITY_SEND, lambda: None)
+        scheduler.run()
+        with pytest.raises(ValueError, match="before current time"):
+            scheduler.schedule(3, PRIORITY_SEND, lambda: None)
+
+    def test_event_budget_guards_liveness(self):
+        scheduler = EventScheduler()
+
+        def respawn():
+            scheduler.schedule(scheduler.now + 1, PRIORITY_SEND, respawn)
+
+        respawn()
+        with pytest.raises(RuntimeError, match="event budget"):
+            scheduler.run(max_events=50)
+
+
+class TestHandles:
+    def test_cancelled_event_does_not_fire(self):
+        scheduler = EventScheduler()
+        log = []
+        handle = scheduler.schedule(2, PRIORITY_SEND, lambda: log.append("cancelled"))
+        scheduler.schedule(2, PRIORITY_SEND, lambda: log.append("kept"))
+        assert not handle.cancelled
+        handle.cancel()
+        assert handle.cancelled
+        processed = scheduler.run()
+        assert log == ["kept"]
+        assert processed == 1  # the cancelled event does not count
+
+    def test_cancel_is_idempotent_and_tracks_pending(self):
+        scheduler = EventScheduler()
+        handle = scheduler.schedule(1, PRIORITY_SEND, lambda: None)
+        scheduler.schedule(2, PRIORITY_SEND, lambda: None)
+        assert scheduler.pending == 2
+        handle.cancel()
+        handle.cancel()
+        assert scheduler.pending == 1
+        scheduler.run()
+        assert scheduler.pending == 0
+
+    def test_cancel_after_fire_is_a_noop(self):
+        scheduler = EventScheduler()
+        log = []
+        handle = scheduler.schedule(1, PRIORITY_SEND, lambda: log.append("ran"))
+        scheduler.run()
+        handle.cancel()  # must not corrupt the pending count
+        assert log == ["ran"]
+        assert scheduler.pending == 0
+        scheduler.schedule(2, PRIORITY_SEND, lambda: None)
+        assert scheduler.pending == 1
+
+    def test_cancelling_mid_run_from_an_action(self):
+        # An earlier event at a tick disarms a later one at the same tick:
+        # the canonical deadline-timer pattern of the MAC cell.
+        scheduler = EventScheduler()
+        log = []
+        timer = scheduler.schedule(7, PRIORITY_SEND, lambda: log.append("deadline"))
+        scheduler.schedule(
+            7, PRIORITY_BLOCK, lambda: (log.append("delivered"), timer.cancel())
+        )
+        scheduler.run()
+        assert log == ["delivered"]
+
+    def test_cancelled_events_do_not_perturb_clock(self):
+        scheduler = EventScheduler()
+        times = []
+        handle = scheduler.schedule(3, PRIORITY_SEND, lambda: None)
+        scheduler.schedule(8, PRIORITY_SEND, lambda: times.append(scheduler.now))
+        handle.cancel()
+        scheduler.run()
+        assert times == [8]
+
+    def test_handle_reports_scheduled_time(self):
+        scheduler = EventScheduler()
+        handle = scheduler.schedule(42, PRIORITY_ACK, lambda: None)
+        assert handle.time == 42
+
+
+class TestRunUntil:
+    def test_processes_only_up_to_the_boundary_inclusive(self):
+        scheduler = EventScheduler()
+        log = []
+        for t in (1, 5, 10, 15):
+            scheduler.schedule(t, PRIORITY_SEND, lambda t=t: log.append(t))
+        processed = scheduler.run_until(10)
+        assert log == [1, 5, 10]
+        assert processed == 3
+        assert scheduler.now == 10
+        assert scheduler.pending == 1
+
+    def test_clock_lands_on_the_boundary_even_when_idle(self):
+        scheduler = EventScheduler()
+        scheduler.run_until(100)
+        assert scheduler.now == 100
+        # Scheduling into the stepped-over past must fail.
+        with pytest.raises(ValueError, match="before current time"):
+            scheduler.schedule(50, PRIORITY_SEND, lambda: None)
+
+    def test_stepping_backwards_is_rejected(self):
+        scheduler = EventScheduler()
+        scheduler.run_until(10)
+        with pytest.raises(ValueError, match="already at"):
+            scheduler.run_until(5)
+
+    def test_resume_after_step_matches_uninterrupted_run(self):
+        def build():
+            scheduler = EventScheduler()
+            log = []
+
+            def chain(t):
+                log.append(t)
+                if t < 20:
+                    scheduler.schedule(t + 3, PRIORITY_SEND, lambda: chain(t + 3))
+
+            scheduler.schedule(0, PRIORITY_SEND, lambda: chain(0))
+            return scheduler, log
+
+        straight, straight_log = build()
+        straight.run()
+        stepped, stepped_log = build()
+        for boundary in (4, 9, 50):
+            stepped.run_until(boundary)
+        stepped.run()
+        assert stepped_log == straight_log
