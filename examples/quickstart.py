@@ -80,7 +80,7 @@ def main() -> None:
         decoder_factory=lambda enc: BubbleDecoder(enc, beam_width=16),
         channel=channel,
         framer=framer,
-    )
+    ).codec_session()  # the code-agnostic session API (repro.phy)
     rates = []
     for _ in range(20):
         payload = rng.integers(0, 2, size=24, dtype=np.uint8)

@@ -26,8 +26,16 @@ Quickstart::
     )
     rng = np.random.default_rng(0)
     payload = rng.integers(0, 2, size=24, dtype=np.uint8)
-    trial = session.run(payload, rng)
+    trial = session.codec_session().run(payload, rng)
     print(trial.rate, trial.payload_correct)
+
+Any other registered code family runs through the same loop (and the same
+transports, relays and cells) via ``repro.phy``::
+
+    from repro import make_codec_session
+
+    lt = make_codec_session("lt", snr_db=10.0)
+    trial = lt.run(rng.integers(0, 2, size=lt.payload_bits, dtype=np.uint8), rng)
 
 See DESIGN.md for the complete system inventory and EXPERIMENTS.md for the
 paper-versus-measured comparison of every figure.
@@ -59,6 +67,23 @@ from repro.core import (
     TrialResult,
     TruncatedGaussianConstellation,
 )
+from repro.phy import (
+    CODE_FAMILY_NAMES,
+    CodeInfo,
+    CodecResult,
+    CodecSession,
+    CodecTransmission,
+    DecodeStatus,
+    FixedRateSpinalCode,
+    LTCode,
+    LdpcIrCode,
+    RatelessCode,
+    RepetitionCode,
+    SpinalCode,
+    channel_for_code,
+    make_code,
+    make_codec_session,
+)
 
 __version__ = "1.0.0"
 
@@ -85,5 +110,20 @@ __all__ = [
     "BSCChannel",
     "BECChannel",
     "RayleighBlockFadingChannel",
+    "CODE_FAMILY_NAMES",
+    "CodeInfo",
+    "CodecResult",
+    "CodecSession",
+    "CodecTransmission",
+    "DecodeStatus",
+    "FixedRateSpinalCode",
+    "LTCode",
+    "LdpcIrCode",
+    "RatelessCode",
+    "RepetitionCode",
+    "SpinalCode",
+    "channel_for_code",
+    "make_code",
+    "make_codec_session",
     "__version__",
 ]

@@ -17,9 +17,12 @@ import numpy as np
 
 from repro.channels.awgn import AWGNChannel
 from repro.core.decoder_bubble import BubbleDecoder
-from repro.core.encoder import ReceivedObservations, SpinalEncoder
+from repro.core.encoder import SpinalEncoder
 from repro.core.params import SpinalParams
+from repro.phy.fixed_rate import FixedRateSpinalCode
+from repro.phy.session import CodecSession
 from repro.utils.bitops import random_message_bits
+from repro.utils.deprecation import warn_once
 
 __all__ = ["FixedRateSpinalSystem", "FixedRateSpinalResult"]
 
@@ -74,8 +77,16 @@ class FixedRateSpinalSystem:
         self.n_passes = n_passes
         self.beam_width = beam_width
         self.adc_bits = adc_bits
+        #: Legacy compatibility attributes: frames now run through the codec
+        #: session over ``_code`` below, not this encoder/decoder pair.
         self.encoder = SpinalEncoder(self.params)
         self.decoder = BubbleDecoder(self.encoder, beam_width=beam_width)
+        self._code = FixedRateSpinalCode(
+            message_bits,
+            n_passes=n_passes,
+            params=self.params,
+            beam_width=beam_width,
+        )
 
     @property
     def n_segments(self) -> int:
@@ -94,19 +105,33 @@ class FixedRateSpinalSystem:
     def transmit_frame(
         self, snr_db: float, rng: np.random.Generator
     ) -> tuple[bool, int]:
-        """Send one frame; return (frame correct, number of wrong bits)."""
+        """Send one frame; return (frame correct, number of wrong bits).
+
+        .. deprecated::
+            This is a byte-identical shim over the ``repro.phy`` codec API:
+            a :class:`~repro.phy.fixed_rate.FixedRateSpinalCode` run through
+            a :class:`~repro.phy.session.CodecSession` whose budget is
+            exactly one frame.  The codec spelling also supports ARQ
+            retransmission, transports, relays and cells.
+        """
+        warn_once(
+            "FixedRateSpinalSystem.transmit_frame",
+            "FixedRateSpinalSystem.transmit_frame is a shim over the repro.phy "
+            "codec API; prefer CodecSession(FixedRateSpinalCode(message_bits, "
+            "n_passes, ...), AWGNChannel(snr_db, ...)).run(payload, rng)",
+        )
         channel = AWGNChannel(
             snr_db=snr_db, signal_power=self.params.average_power, adc_bits=self.adc_bits
         )
+        session = CodecSession(
+            self._code,
+            channel,
+            termination="genie",
+            max_symbols=self.symbols_per_frame,
+        )
         message = random_message_bits(self.message_bits, rng)
-        passes = self.encoder.encode_passes(message, self.n_passes)
-        observations = ReceivedObservations(self.n_segments)
-        for pass_index in range(self.n_passes):
-            received = channel.transmit(passes[pass_index], rng)
-            for position in range(self.n_segments):
-                observations.add(position, pass_index, received[position])
-        decoded = self.decoder.decode(self.message_bits, observations).message_bits
-        wrong_bits = int(np.count_nonzero(decoded != message))
+        result = session.run(message, rng)
+        wrong_bits = int(np.count_nonzero(result.decoded_payload != message))
         return wrong_bits == 0, wrong_bits
 
     def measure(

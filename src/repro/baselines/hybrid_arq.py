@@ -22,7 +22,10 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.baselines.ldpc_system import FixedRateLdpcSystem, LdpcConfig
-from repro.utils.units import db_to_linear
+from repro.channels.awgn import AWGNChannel
+from repro.phy.ldpc_ir import LdpcIrCode
+from repro.phy.session import CodecSession
+from repro.utils.deprecation import warn_once
 
 __all__ = ["HybridArqLdpcSystem", "ArqTrialResult"]
 
@@ -66,34 +69,42 @@ class HybridArqLdpcSystem:
         self.max_attempts = max_attempts
 
     def run_trial(self, snr_db: float, rng: np.random.Generator) -> ArqTrialResult:
-        """Deliver one frame, retransmitting until decoded or out of attempts."""
-        code = self.system.code
-        modulation = self.system.modulation
-        noise_energy = 1.0 / db_to_linear(snr_db)
-        message = rng.integers(0, 2, size=code.k, dtype=np.uint8)
-        codeword = code.encode(message)
-        symbols = modulation.modulate(codeword)
+        """Deliver one frame, retransmitting until decoded or out of attempts.
 
-        accumulated_llrs = np.zeros(code.n, dtype=np.float64)
-        symbols_sent = 0
-        for attempt in range(1, self.max_attempts + 1):
-            noise = np.sqrt(noise_energy / 2.0) * (
-                rng.standard_normal(symbols.size) + 1j * rng.standard_normal(symbols.size)
-            )
-            accumulated_llrs += modulation.demodulate_llr(symbols + noise, noise_energy)
-            symbols_sent += symbols.size
-            decoded, _ = self.system.decoder.decode(accumulated_llrs)
-            if np.array_equal(decoded[: code.k], message):
-                return ArqTrialResult(
-                    success=True,
-                    attempts=attempt,
-                    symbols_sent=symbols_sent,
-                    message_bits=code.k,
-                )
+        .. deprecated::
+            This is a byte-identical shim over the ``repro.phy`` codec API:
+            Chase combining is :class:`~repro.phy.ldpc_ir.LdpcIrCode` with
+            ``chunk_bits = n`` (whole-codeword repeats) run through a
+            :class:`~repro.phy.session.CodecSession` — which also unlocks
+            the finer puncturing schedules, transports, relays and cells
+            this one-shot interface never supported.
+        """
+        warn_once(
+            "HybridArqLdpcSystem.run_trial",
+            "HybridArqLdpcSystem.run_trial is a shim over the repro.phy codec API; "
+            "prefer CodecSession(LdpcIrCode(snr_db, chunk_bits=n, ...), "
+            "AWGNChannel(snr_db)).run(payload, rng)",
+        )
+        code = self.system.code
+        ir_code = LdpcIrCode(
+            snr_db=snr_db,
+            code=code,
+            modulation=self.system.modulation,
+            decoder=self.system.decoder,
+        )
+        symbols_per_frame = code.n // self.system.modulation.bits_per_symbol
+        session = CodecSession(
+            ir_code,
+            AWGNChannel(snr_db=snr_db),
+            termination="genie",
+            max_symbols=self.max_attempts * symbols_per_frame,
+        )
+        message = rng.integers(0, 2, size=code.k, dtype=np.uint8)
+        result = session.run(message, rng)
         return ArqTrialResult(
-            success=False,
-            attempts=self.max_attempts,
-            symbols_sent=symbols_sent,
+            success=result.success,
+            attempts=result.decode_attempts,
+            symbols_sent=result.symbols_sent,
             message_bits=code.k,
         )
 

@@ -39,7 +39,12 @@ from repro.core.framing import Framer
 from repro.core.hashing import SaltedHashFamily
 from repro.core.params import SpinalParams
 from repro.core.puncturing import NoPuncturing, StridedPuncturing
-from repro.core.rateless import RatelessReceiver, RatelessSession, TrialResult
+from repro.core.rateless import (
+    PacketTransmission,
+    RatelessReceiver,
+    RatelessSession,
+    TrialResult,
+)
 from repro.core.spine import SpineGenerator
 
 __all__ = [
@@ -58,6 +63,7 @@ __all__ = [
     "MLDecoder",
     "StackDecoder",
     "DecodeResult",
+    "PacketTransmission",
     "RatelessSession",
     "RatelessReceiver",
     "TrialResult",

@@ -50,6 +50,9 @@ from repro.channels.base import Channel
 from repro.core.decoder_bubble import BubbleDecoder, DecodeResult
 from repro.core.encoder import ReceivedObservations, SpinalEncoder, SubpassBlock
 from repro.core.framing import Framer
+from repro.phy.session import CodecSession, CodecTransmission
+from repro.phy.spinal import SpinalCode
+from repro.utils.deprecation import warn_once
 
 __all__ = ["RatelessSession", "RatelessReceiver", "PacketTransmission", "TrialResult"]
 
@@ -167,18 +170,20 @@ class RatelessReceiver:
         return self.framer.extract_payload(self.last_result.message_bits)
 
 
-class PacketTransmission:
+class PacketTransmission(CodecTransmission):
     """A pausable, resumable rateless transmission of one framed payload.
+
+    Since the ``repro.phy`` redesign this is a thin spinal-flavoured shim
+    over the code-agnostic :class:`~repro.phy.session.CodecTransmission`:
+    the session loop, decode gating, budget accounting and pause/resume
+    semantics all live there, and this class merely binds them to the
+    spinal adapter built from a :class:`RatelessSession` — bit-identically
+    to the historical implementation (same encoder stream, same observation
+    store, same decoder invocations, same noise draws).
 
     The link-transport simulator interleaves many packets over one forward
     channel: a sliding-window sender transmits a subpass of one packet, then
     may switch to another in-flight packet before the first has decoded.
-    This class is the per-packet state that makes such interleaving possible
-    — it holds the packet's encoder stream position, its private receiver
-    (decoder state plus observations), and the sender-side symbol count, so
-    a transmission can be advanced one subpass at a time in any global
-    order.
-
     Sending and delivering are deliberately *separate* steps:
     :meth:`send_next_block` spends channel uses (sender + channel), while
     :meth:`deliver` feeds the received values to this packet's receiver and
@@ -186,11 +191,6 @@ class PacketTransmission:
     *discard* it at the receiver (go-back-N drops out-of-order frames), in
     which case the symbols still count against the sender but never reach
     the decoder.
-
-    The sequential search of :meth:`RatelessSession.run` is implemented on
-    top of this class (send → deliver → check budget), so the single-packet
-    and windowed multi-packet paths share one code path and remain
-    bit-identical where they overlap.
     """
 
     def __init__(
@@ -198,59 +198,15 @@ class PacketTransmission:
         session: "RatelessSession",
         payload: np.ndarray,
         rng: np.random.Generator,
-        framed: np.ndarray | None = None,
     ) -> None:
-        self.session = session
-        self.payload = np.asarray(payload, dtype=np.uint8)
-        self.framed = session.framer.frame(self.payload) if framed is None else framed
-        self.rng = rng
-        self._stream = session.encoder.symbol_stream(self.framed)
-        decoder = session.decoder_factory(session.encoder)
-        self.receiver = RatelessReceiver(
-            decoder, session.framer, session.termination, true_framed_bits=self.framed
+        super().__init__(
+            session.codec_session(), np.asarray(payload, dtype=np.uint8), rng
         )
-        #: Channel uses spent by the sender on this packet (including any
-        #: blocks the receiver discarded).
-        self.symbols_sent = 0
-        #: Channel uses actually delivered to this packet's receiver.
-        self.symbols_delivered = 0
-        self.decoded = False
 
     @property
-    def exhausted(self) -> bool:
-        """Whether the sender's per-packet symbol budget is spent."""
-        return self.symbols_sent >= self.session.max_symbols
-
-    def send_next_block(self) -> tuple[SubpassBlock, np.ndarray]:
-        """Transmit the next subpass through the session's channel.
-
-        Returns the transmitted block and the received values.  Noise draws
-        come from this packet's private generator, so per-packet results are
-        independent of how transmissions are interleaved (over memoryless
-        channels).
-        """
-        block = next(self._stream)
-        received = self.session.channel.transmit(block.values, self.rng)
-        self.symbols_sent += block.n_symbols
-        return block, received
-
-    def deliver(self, block: SubpassBlock, received_values: np.ndarray) -> bool:
-        """Feed one received block to the receiver; return True once decoded."""
-        if self.decoded:
-            return True
-        self.receiver.receive(block, received_values)
-        self.symbols_delivered += block.n_symbols
-        if self.receiver.try_decode():
-            self.decoded = True
-        return self.decoded
-
-    def best_effort_decode(self) -> None:
-        """Force one decode so a failed packet still reports a best guess."""
-        if self.receiver.last_result is None:
-            self.receiver.decode_now()
-
-    def decoded_payload(self) -> np.ndarray:
-        return self.receiver.decoded_payload()
+    def framed(self) -> np.ndarray:
+        """The framed message bits this packet's encoder streams."""
+        return self.session.code.framer.frame(self.payload)
 
 
 class RatelessSession:
@@ -299,6 +255,8 @@ class RatelessSession:
     ) -> None:
         if max_symbols <= 0:
             raise ValueError(f"max_symbols must be positive, got {max_symbols}")
+        if termination not in ("genie", "crc"):
+            raise ValueError(f"unknown termination rule {termination!r}")
         if search not in ("sequential", "bisect"):
             raise ValueError(f"unknown search strategy {search!r}")
         expected_domain = "bit" if encoder.params.bit_mode else "symbol"
@@ -322,8 +280,48 @@ class RatelessSession:
     def _credited_bits(self) -> int:
         return self.framer.framed_bits if not self.count_overhead else self.framer.payload_bits
 
+    @property
+    def payload_bits(self) -> int:
+        """Message bits per packet (the link/MAC layers' goodput numerator)."""
+        return self.framer.payload_bits
+
+    def as_code(self) -> SpinalCode:
+        """This session's code, as a :class:`~repro.phy.protocol.RatelessCode`."""
+        return SpinalCode(self.encoder, self.decoder_factory, self.framer)
+
+    def codec_session(self) -> CodecSession:
+        """The code-agnostic session equivalent to this one.
+
+        Built fresh per call (construction is trivial) so later mutation of
+        this session's fields is always reflected.  The historical
+        ``"crc"`` termination maps to the protocol's ``"self"`` rule.
+        """
+        return CodecSession(
+            self.as_code(),
+            self.channel,
+            termination="genie" if self.termination == "genie" else "self",
+            max_symbols=self.max_symbols,
+            credited_bits=self._credited_bits(),
+        )
+
     def run(self, payload: np.ndarray, rng: np.random.Generator) -> TrialResult:
-        """Transmit one payload until decoded or the symbol budget is spent."""
+        """Transmit one payload until decoded or the symbol budget is spent.
+
+        Since the ``repro.phy`` redesign the sequential search is a
+        bit-identical shim over :meth:`CodecSession.run
+        <repro.phy.session.CodecSession.run>`; new code should prefer
+        ``session.codec_session().run(payload, rng)`` (or build a
+        :class:`~repro.phy.session.CodecSession` directly).
+        """
+        warn_once(
+            "RatelessSession.run",
+            "RatelessSession.run is a compatibility shim over the repro.phy codec "
+            "API; prefer session.codec_session().run(payload, rng)",
+        )
+        return self._run(payload, rng)
+
+    def _run(self, payload: np.ndarray, rng: np.random.Generator) -> TrialResult:
+        """The non-deprecated implementation behind :meth:`run`."""
         payload = np.asarray(payload, dtype=np.uint8)
         framed = self.framer.frame(payload)
         self.channel.reset()
@@ -347,21 +345,31 @@ class RatelessSession:
     def _run_sequential(
         self, payload: np.ndarray, framed: np.ndarray, rng: np.random.Generator
     ) -> TrialResult:
-        transmission = PacketTransmission(self, payload, rng, framed=framed)
+        transmission = PacketTransmission(self, payload, rng)
         while True:
             block, received = transmission.send_next_block()
             if transmission.deliver(block, received):
-                return self._result(
-                    transmission.receiver, payload, transmission.symbols_sent, success=True
-                )
+                return self._transmission_result(transmission, success=True)
             if transmission.exhausted:
                 # The budget ran out; if the symbol threshold never allowed
                 # an attempt, decode once so the trial still reports a best
                 # guess.
                 transmission.best_effort_decode()
-                return self._result(
-                    transmission.receiver, payload, transmission.symbols_sent, success=False
-                )
+                return self._transmission_result(transmission, success=False)
+
+    def _transmission_result(
+        self, transmission: PacketTransmission, success: bool
+    ) -> TrialResult:
+        decoded_payload = transmission.decoded_payload()
+        return TrialResult(
+            success=success,
+            payload_correct=bool(np.array_equal(decoded_payload, transmission.payload)),
+            symbols_sent=transmission.symbols_sent,
+            payload_bits=self._credited_bits(),
+            decode_attempts=transmission.decode_attempts,
+            candidates_explored=transmission.work,
+            decoded_payload=decoded_payload,
+        )
 
     # -- bisect: lazy transmission plus galloping + binary search --------------
     def _run_bisect(

@@ -87,6 +87,7 @@ EXPERIMENT_MODULES = (
     "repro.experiments.transport_sweep",
     "repro.experiments.cell_scaling",
     "repro.experiments.cell_rateless_vs_adaptive",
+    "repro.experiments.code_family_matrix",
 )
 
 _REGISTRY: dict[str, "Experiment"] = {}

@@ -226,7 +226,7 @@ def _trial_batch(
     for index, trial in batch:
         rng = spawn_rng(config.seed, "trial", label, trial)
         payload = random_message_bits(config.payload_bits, rng)
-        result = session.run(payload, rng)
+        result = session._run(payload, rng)
         outcomes.append((index, (result.rate, result.symbols_sent, result.payload_correct)))
     return outcomes
 
@@ -408,7 +408,7 @@ def run_one_spinal_trial(
     """One rateless transmission, as JSON-native metrics (kernel primitive)."""
     session = config.build_session(channel, max_symbols)
     payload = random_message_bits(config.payload_bits, rng)
-    result = session.run(payload, rng)
+    result = session._run(payload, rng)
     return {
         "rate": result.rate,
         "symbols": result.symbols_sent,

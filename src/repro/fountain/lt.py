@@ -21,7 +21,13 @@ import numpy as np
 
 from repro.utils.rng import spawn_rng
 
-__all__ = ["robust_soliton_distribution", "LTSymbol", "LTEncoder", "LTDecoder"]
+__all__ = [
+    "robust_soliton_distribution",
+    "lt_neighbours",
+    "LTSymbol",
+    "LTEncoder",
+    "LTDecoder",
+]
 
 
 def robust_soliton_distribution(
@@ -57,6 +63,25 @@ def robust_soliton_distribution(
 
     combined = ideal + np.maximum(tau, 0.0)
     return combined / combined.sum()
+
+
+def lt_neighbours(
+    code_seed: int,
+    symbol_seed: int,
+    n_blocks: int,
+    degree_distribution: np.ndarray,
+) -> tuple[int, ...]:
+    """Derive a symbol's neighbour set from its seed (sender/receiver shared).
+
+    Factored out of :class:`LTEncoder` so a receiver that knows only the
+    code configuration — not the data — derives the same neighbourhoods
+    (this is how real fountain deployments work: the symbol seed travels in
+    the symbol header, the degree distribution is part of the code spec).
+    """
+    rng = spawn_rng(code_seed, "lt-symbol", symbol_seed)
+    degree = int(rng.choice(n_blocks, p=degree_distribution)) + 1
+    neighbours = rng.choice(n_blocks, size=degree, replace=False)
+    return tuple(int(n) for n in np.sort(neighbours))
 
 
 @dataclass(frozen=True)
@@ -100,10 +125,7 @@ class LTEncoder:
 
     def neighbours_for_seed(self, symbol_seed: int) -> tuple[int, ...]:
         """Deterministically derive a symbol's neighbour set from its seed."""
-        rng = spawn_rng(self.seed, "lt-symbol", symbol_seed)
-        degree = int(rng.choice(self.n_blocks, p=self.degree_distribution)) + 1
-        neighbours = rng.choice(self.n_blocks, size=degree, replace=False)
-        return tuple(int(n) for n in np.sort(neighbours))
+        return lt_neighbours(self.seed, symbol_seed, self.n_blocks, self.degree_distribution)
 
     def symbol(self, symbol_seed: int) -> LTSymbol:
         """Generate the output symbol identified by ``symbol_seed``."""
@@ -139,11 +161,21 @@ class LTDecoder:
         return len(self.recovered) == self.n_blocks
 
     def add_symbol(self, symbol: LTSymbol) -> None:
-        """Consume one received (un-erased) output symbol and peel."""
+        """Consume one received (un-erased) output symbol and peel.
+
+        Once decoding is complete every further symbol is redundant by
+        definition: absorbing one (a duplicate, or a symbol fully reduced by
+        the recovered blocks) is a strict no-op — it neither counts towards
+        ``symbols_consumed`` nor mutates the pending/recovered state — so a
+        receiver that keeps draining a stream after success cannot disturb
+        the decoded data.
+        """
         if symbol.value.shape != (self.block_bits,):
             raise ValueError(
                 f"symbol has {symbol.value.shape} bits, expected ({self.block_bits},)"
             )
+        if self.is_complete:
+            return
         self.symbols_consumed += 1
         remaining = set(symbol.neighbours)
         value = symbol.value.copy()

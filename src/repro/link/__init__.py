@@ -29,6 +29,7 @@ from repro.link.feedback import (
 from repro.link.session import LinkSessionResult, deliver_packets, simulate_link_session
 from repro.link.topology import (
     RelayTransportResult,
+    build_codec_relay_sessions,
     build_relay_sessions,
     relay_hop_params,
     simulate_relay_transport,
@@ -54,6 +55,7 @@ __all__ = [
     "HopTransport",
     "run_link_transport",
     "RelayTransportResult",
+    "build_codec_relay_sessions",
     "build_relay_sessions",
     "relay_hop_params",
     "simulate_relay_transport",

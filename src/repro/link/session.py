@@ -20,6 +20,7 @@ import numpy as np
 
 from repro.core.rateless import RatelessSession, TrialResult
 from repro.link.feedback import FeedbackModel
+from repro.utils.deprecation import warn_once
 
 __all__ = ["LinkSessionResult", "simulate_link_session", "deliver_packets"]
 
@@ -88,7 +89,31 @@ def simulate_link_session(
     An empty sequence is valid and yields a zero-packet result whose
     throughput properties are all well-defined (zero throughput, vacuously
     perfect efficiency).
+
+    .. deprecated::
+        Model-based accounting is superseded by the *measured* transport:
+        ``repro.link.transport.run_link_transport(session, payloads, config)``
+        returns the same :class:`LinkSessionResult` via
+        ``TransportResult.link_session_result()`` from simulated protocol
+        dynamics, for any :class:`~repro.phy.session.CodecSession`.
     """
+    warn_once(
+        "simulate_link_session",
+        "simulate_link_session applies a closed-form feedback model; prefer the "
+        "measured transport: repro.link.transport.run_link_transport(session, "
+        "payloads, config).link_session_result()",
+    )
+    return _accounted_link_session(
+        symbols_needed_per_packet, payload_bits_per_packet, feedback
+    )
+
+
+def _accounted_link_session(
+    symbols_needed_per_packet: Sequence[int],
+    payload_bits_per_packet: int,
+    feedback: FeedbackModel,
+) -> LinkSessionResult:
+    """The non-deprecated implementation behind :func:`simulate_link_session`."""
     needed = np.asarray(list(symbols_needed_per_packet), dtype=np.int64)
     if np.any(needed <= 0):
         raise ValueError("symbols_needed_per_packet must be positive")
@@ -122,10 +147,10 @@ def deliver_packets(
     saved.  An empty payload sequence yields an empty (zero-throughput)
     result and no trials.
     """
-    trials = [session.run(payload, rng) for payload in payloads]
-    link_result = simulate_link_session(
+    trials = [session._run(payload, rng) for payload in payloads]
+    link_result = _accounted_link_session(
         [trial.symbols_sent for trial in trials],
-        session.framer.payload_bits,
+        session.payload_bits,
         feedback,
     )
     return link_result, trials

@@ -28,6 +28,7 @@ import numpy as np
 
 from repro.channels.awgn import AWGNChannel
 from repro.core.rateless import RatelessSession
+from repro.phy.session import CodecSession
 from repro.link.events import EventScheduler
 from repro.link.transport import (
     HopTransport,
@@ -42,6 +43,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (experiments -> link)
 
 __all__ = [
     "RelayTransportResult",
+    "build_codec_relay_sessions",
     "build_relay_sessions",
     "relay_hop_params",
     "simulate_relay_transport",
@@ -80,6 +82,39 @@ def build_relay_sessions(
         # config's search strategy is overridden per hop.
         sessions.append(hop_config.build_session(channel, search="sequential"))
     return sessions
+
+
+def build_codec_relay_sessions(
+    family: str,
+    hop_snrs_db: Sequence[float],
+    seed: int = 0,
+    smoke: bool = False,
+    max_symbols: int = 4096,
+    termination: str = "genie",
+) -> list[CodecSession]:
+    """One code-agnostic session per hop, for any registered code family.
+
+    The protocol-level generalisation of :func:`build_relay_sessions`: each
+    hop gets an independent code instance built from a hop-derived seed (the
+    "fresh hash seed per hop" discipline, generalised — an LT hop re-draws
+    its neighbourhoods, a spinal hop its hash family) and its own
+    SNR-calibrated channel matching the code's alphabet.
+    """
+    from repro.phy.families import make_codec_session
+
+    if len(hop_snrs_db) == 0:
+        raise ValueError("a relay path needs at least one hop")
+    return [
+        make_codec_session(
+            family,
+            snr_db=float(snr_db),
+            seed=seed if hop == 0 else derive_seed(seed, "relay-hop", hop),
+            smoke=smoke,
+            max_symbols=max_symbols,
+            termination=termination,
+        )
+        for hop, snr_db in enumerate(hop_snrs_db)
+    ]
 
 
 @dataclass(frozen=True)
@@ -138,11 +173,8 @@ def simulate_relay_transport(
     sessions = list(sessions)
     if not sessions:
         raise ValueError("a relay path needs at least one hop session")
-    framers = {
-        (s.framer.payload_bits, s.framer.k, s.framer.crc_bits) for s in sessions
-    }
-    if len(framers) != 1:
-        raise ValueError("all hops must share one framing configuration")
+    if len({s.payload_bits for s in sessions}) != 1:
+        raise ValueError("all hops must share one framing (payload size) configuration")
     scheduler = EventScheduler()
     n_packets = len(payloads)
     delivered = np.zeros(n_packets, dtype=bool)
@@ -182,7 +214,7 @@ def simulate_relay_transport(
     return RelayTransportResult(
         hops=hop_results,
         n_packets=n_packets,
-        payload_bits_per_packet=sessions[0].framer.payload_bits,
+        payload_bits_per_packet=sessions[0].payload_bits,
         delivered=delivered,
         delivery_times=delivery_times,
         makespan=max((hop.makespan for hop in hop_results), default=0),

@@ -52,6 +52,7 @@ import numpy as np
 
 from repro.channels.erasure import PacketErasureChannel
 from repro.core.rateless import PacketTransmission, RatelessSession
+from repro.phy.session import CodecSession
 from repro.link.events import (
     PRIORITY_ACK,
     PRIORITY_BLOCK,
@@ -227,12 +228,21 @@ class HopTransport:
     (all upfront for a direct link; as upstream hops deliver, for a relay)
     and leave through the ``on_deliver`` callback, which fires in order,
     exactly once per delivered packet.
+
+    ``session`` is *code-agnostic*: anything exposing the PHY-session
+    surface — ``open_transmission(payload, rng)``, ``payload_bits``,
+    ``max_symbols``, ``channel`` — works, i.e. a historical (spinal)
+    :class:`~repro.core.rateless.RatelessSession` or a
+    :class:`~repro.phy.session.CodecSession` over any registered code
+    family.  The transport only ever drives the pausable transmission
+    interface (``send_next_block`` / ``deliver`` / ``decoded`` /
+    ``exhausted``), so ARQ behaviour is identical across families.
     """
 
     def __init__(
         self,
         scheduler: EventScheduler,
-        session: RatelessSession,
+        session: "RatelessSession | CodecSession",
         config: TransportConfig,
         hop_index: int = 0,
         on_deliver: Callable[[int, np.ndarray, int], None] | None = None,
@@ -480,7 +490,7 @@ class HopTransport:
             protocol=self.config.protocol,
             window=self.config.window,
             n_packets=n,
-            payload_bits_per_packet=self.session.framer.payload_bits,
+            payload_bits_per_packet=self.session.payload_bits,
             orig_indices=np.array([s.orig_index for s in self.packets], dtype=np.int64),
             delivered=np.array([s.delivered for s in self.packets], dtype=bool),
             symbols_needed=np.array([s.symbols_needed for s in self.packets], dtype=np.int64),
@@ -502,19 +512,20 @@ def _event_budget(config: TransportConfig, n_packets: int, budgets: Sequence[int
 
 
 def run_link_transport(
-    session: RatelessSession,
+    session: "RatelessSession | CodecSession",
     payloads: Sequence[np.ndarray],
     config: TransportConfig,
 ) -> TransportResult:
     """Simulate a single-hop sliding-window transport of ``payloads``.
 
-    Every payload is framed and streamed through ``session``'s encoder,
-    channel and decoder under the configured ARQ protocol.  The session's
-    ``max_symbols`` acts as the per-packet abort budget, and its
-    ``termination`` rule decides when the receiver considers a packet
-    decoded.  The session's ``search`` setting is ignored: the transport is
-    inherently sequential (an on-line receiver attempting a decode per
-    block).
+    Every payload is streamed through ``session``'s encoder, channel and
+    decoder under the configured ARQ protocol; the session may be the
+    historical spinal one or a :class:`~repro.phy.session.CodecSession`
+    over any code family.  The session's ``max_symbols`` acts as the
+    per-packet abort budget, and its ``termination`` rule decides when the
+    receiver considers a packet decoded.  A spinal session's ``search``
+    setting is ignored: the transport is inherently sequential (an on-line
+    receiver attempting a decode per block).
     """
     scheduler = EventScheduler()
     session.channel.reset()

@@ -20,6 +20,15 @@ multi-user piece of the library:
   packet-latency statistics of a cell run.
 """
 
+from repro.mac.adaptive import (
+    AdaptiveCodecLink,
+    AdaptiveCodecTransmission,
+    AdaptiveSpinalLink,
+    CodecRateOption,
+    SpinalRateOption,
+    calibrate_spinal_rate_policy,
+    spinal_rate_options,
+)
 from repro.mac.cell import CellUser, MacCell, RatelessLink, simulate_cell, spread_snrs
 from repro.mac.metrics import CellResult, PacketOutcome, jain_fairness_index
 from repro.mac.schedulers import (
@@ -32,8 +41,15 @@ from repro.mac.schedulers import (
 )
 
 __all__ = [
+    "AdaptiveCodecLink",
+    "AdaptiveCodecTransmission",
+    "AdaptiveSpinalLink",
     "CellResult",
     "CellUser",
+    "CodecRateOption",
+    "SpinalRateOption",
+    "calibrate_spinal_rate_policy",
+    "spinal_rate_options",
     "MacCell",
     "MaxSnrScheduler",
     "PacketOutcome",

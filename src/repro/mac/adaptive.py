@@ -32,17 +32,22 @@ from typing import Callable, Sequence
 import numpy as np
 
 from repro.baselines.fixed_rate_spinal import FixedRateSpinalSystem
-from repro.baselines.rate_adaptation import RateAdaptationPolicy
+from repro.baselines.rate_adaptation import RateAdaptationPolicy, RateOption
 from repro.channels.base import Channel
 from repro.core.decoder_bubble import BubbleDecoder
 from repro.core.encoder import ReceivedObservations, SpinalEncoder
 from repro.core.params import SpinalParams
+from repro.phy.fixed_rate import FixedRateSpinalCode
+from repro.phy.protocol import RatelessCode
 
 __all__ = [
     "SpinalRateOption",
+    "CodecRateOption",
     "spinal_rate_options",
     "calibrate_spinal_rate_policy",
     "AdaptiveFrameTransmission",
+    "AdaptiveCodecTransmission",
+    "AdaptiveCodecLink",
     "AdaptiveSpinalLink",
 ]
 
@@ -229,12 +234,181 @@ class AdaptiveFrameTransmission:
         return self._decoded_payload
 
 
+@dataclass(frozen=True)
+class CodecRateOption:
+    """A rate-menu entry backed by a fixed-rate :class:`~repro.phy.protocol.RatelessCode`.
+
+    The protocol-level generalisation of :class:`SpinalRateOption`: any code
+    whose :class:`~repro.phy.protocol.CodeInfo` declares ``symbols_per_frame``
+    (a fixed-rate code) can populate a
+    :class:`~repro.baselines.rate_adaptation.RateAdaptationPolicy` menu and
+    be driven by :class:`AdaptiveCodecTransmission` — the adaptation loop no
+    longer knows what code family it is scheduling.
+    """
+
+    code: RatelessCode
+
+    def __post_init__(self) -> None:
+        info = self.code.info
+        if info.symbols_per_frame is None or not info.rate_menu:
+            raise ValueError(
+                f"CodecRateOption needs a fixed-rate code; {info.family!r} declares "
+                "no symbols_per_frame/rate_menu"
+            )
+
+    @property
+    def nominal_rate(self) -> float:
+        return self.code.info.rate_menu[0]
+
+
+class AdaptiveCodecTransmission:
+    """One packet's fixed-rate ARQ transmission, driven through the codec protocol.
+
+    The code-agnostic successor of :class:`AdaptiveFrameTransmission`: each
+    attempt re-observes the channel, asks the policy for a menu option, and
+    streams that option's *code* (``new_encoder`` / ``new_decoder``) for
+    exactly one frame — the decoder signals the frame boundary by returning
+    an attempted :class:`~repro.phy.protocol.DecodeStatus`.  A failed frame
+    triggers re-selection and retransmission; a frame that no longer fits
+    the symbol budget aborts the packet.  For a spinal menu this is
+    bit-identical to the legacy implementation (pinned in
+    ``tests/test_api_migration.py``).
+    """
+
+    def __init__(
+        self,
+        payload: np.ndarray,
+        rng: np.random.Generator,
+        channel: Channel,
+        policy: RateAdaptationPolicy,
+        code_for_option: Callable[[RateOption], RatelessCode],
+        observe: Callable[[], float],
+        max_symbols: int,
+    ) -> None:
+        if max_symbols <= 0:
+            raise ValueError(f"max_symbols must be positive, got {max_symbols}")
+        self.payload = np.asarray(payload, dtype=np.uint8)
+        self.rng = rng
+        self.channel = channel
+        self.policy = policy
+        self.code_for_option = code_for_option
+        self.observe = observe
+        self.max_symbols = int(max_symbols)
+        self.symbols_sent = 0
+        self.symbols_delivered = 0
+        self.decoded = False
+        self.attempts = 0
+        #: The menu entries selected, one per attempt (diagnostics).
+        self.selected: list = []
+        self._decoded_payload: np.ndarray | None = None
+        self._exhausted = False
+        self._active = False
+        self._begin_attempt()
+
+    # ------------------------------------------------------------------
+    def _begin_attempt(self) -> None:
+        """Select a rate from fresh CSI and set up the next frame, if it fits."""
+        option = self.policy.select(float(self.observe()))
+        code = self.code_for_option(option)
+        if self.symbols_sent + code.info.symbols_per_frame > self.max_symbols:
+            self._exhausted = True
+            return
+        self.attempts += 1
+        self.selected.append(option)
+        self._source = code.new_encoder(self.payload)
+        self._decoder = code.new_decoder()
+        self._active = True
+
+    @property
+    def exhausted(self) -> bool:
+        """Whether the budget cannot fit another attempt (packet abort)."""
+        return self._exhausted
+
+    # ------------------------------------------------------------------
+    def send_next_block(self):
+        """Transmit the frame's next block through the user's channel."""
+        if not self._active:
+            raise RuntimeError("no active frame attempt to send from")
+        block = self._source.next_block()
+        received = self.channel.transmit(block.values, self.rng)
+        self.symbols_sent += block.n_symbols
+        return block, received
+
+    def deliver(self, block, received_values: np.ndarray) -> bool:
+        """Feed one received block to the receiver; decode at the frame boundary."""
+        if self.decoded:
+            return True
+        status = self._decoder.absorb(block, received_values, attempt=True)
+        self.symbols_delivered += block.n_symbols
+        if not status.attempted:
+            return False  # mid-frame: the fixed-rate receiver waits
+        self._active = False
+        if status.payload is not None and bool(
+            np.array_equal(status.payload, self.payload)
+        ):
+            self.decoded = True
+            self._decoded_payload = status.payload
+            return True
+        self._begin_attempt()  # retransmit (or mark exhausted)
+        return False
+
+    def decoded_payload(self) -> np.ndarray:
+        if not self.decoded:
+            raise ValueError("the packet has not decoded")
+        return self._decoded_payload
+
+
+class AdaptiveCodecLink:
+    """Cell link running threshold adaptation over any fixed-rate code menu.
+
+    The policy's options must be :class:`CodecRateOption` instances (or
+    anything mapping to a fixed-rate code via ``option.code``); every packet
+    opens one :class:`AdaptiveCodecTransmission`.
+    """
+
+    def __init__(
+        self,
+        policy: RateAdaptationPolicy,
+        channel: Channel,
+        max_symbols: int = 4096,
+    ) -> None:
+        self.policy = policy
+        self.channel = channel
+        self.max_symbols = int(max_symbols)
+        payload_sizes = {o.code.info.payload_bits for o in policy.configs}
+        if len(payload_sizes) != 1:
+            raise ValueError(
+                f"menu codes disagree on payload size: {sorted(payload_sizes)}"
+            )
+        self.payload_bits = payload_sizes.pop()
+
+    def open(
+        self,
+        payload: np.ndarray,
+        rng: np.random.Generator,
+        observe: Callable[[], float],
+    ) -> AdaptiveCodecTransmission:
+        return AdaptiveCodecTransmission(
+            payload=payload,
+            rng=rng,
+            channel=self.channel,
+            policy=self.policy,
+            code_for_option=lambda option: option.code,
+            observe=observe,
+            max_symbols=self.max_symbols,
+        )
+
+
 class AdaptiveSpinalLink:
     """Per-user factory for adaptive transmissions (the cell's link object).
 
     Mirrors the role :class:`~repro.mac.cell.RatelessLink` plays for
     rateless users: owns the user's channel, budget and PHY configuration,
-    and opens one :class:`AdaptiveFrameTransmission` per packet.
+    and opens one transmission per packet.  Since the ``repro.phy``
+    redesign each menu entry is backed by a
+    :class:`~repro.phy.fixed_rate.FixedRateSpinalCode` and packets run
+    through the code-agnostic :class:`AdaptiveCodecTransmission` —
+    bit-identically to the legacy :class:`AdaptiveFrameTransmission` path.
     """
 
     def __init__(
@@ -253,22 +427,38 @@ class AdaptiveSpinalLink:
         self.params.n_segments(self.payload_bits)  # validates divisibility
         self.beam_width = int(beam_width)
         self.max_symbols = int(max_symbols)
+        #: Legacy compatibility attributes: transmissions now go through the
+        #: per-option codes below, not this shared encoder/decoder pair.
         self.encoder = SpinalEncoder(self.params)
         self.decoder = BubbleDecoder(self.encoder, beam_width=self.beam_width)
+        #: One fixed-rate code per menu entry (built lazily so policies may
+        #: carry options the traffic never selects).
+        self._codes: dict = {}
+
+    def _code_for_option(self, option: SpinalRateOption) -> FixedRateSpinalCode:
+        code = self._codes.get(option)
+        if code is None:
+            code = FixedRateSpinalCode(
+                self.payload_bits,
+                n_passes=option.n_passes,
+                params=self.params,
+                beam_width=self.beam_width,
+            )
+            self._codes[option] = code
+        return code
 
     def open(
         self,
         payload: np.ndarray,
         rng: np.random.Generator,
         observe: Callable[[], float],
-    ) -> AdaptiveFrameTransmission:
-        return AdaptiveFrameTransmission(
+    ) -> AdaptiveCodecTransmission:
+        return AdaptiveCodecTransmission(
             payload=payload,
             rng=rng,
             channel=self.channel,
-            encoder=self.encoder,
-            decoder=self.decoder,
             policy=self.policy,
+            code_for_option=self._code_for_option,
             observe=observe,
             max_symbols=self.max_symbols,
         )

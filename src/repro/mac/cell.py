@@ -51,6 +51,7 @@ from typing import Callable, Protocol, Sequence
 import numpy as np
 
 from repro.core.rateless import PacketTransmission, RatelessSession
+from repro.phy.session import CodecSession
 from repro.link.events import (
     PRIORITY_BLOCK,
     PRIORITY_SEND,
@@ -146,9 +147,15 @@ class Link(Protocol):
 
 @dataclass(frozen=True)
 class RatelessLink:
-    """A user running the paper's rateless spinal session (no rate selection)."""
+    """A user running a rateless session (no rate selection).
 
-    session: RatelessSession
+    Since the ``repro.phy`` redesign the session may be the historical
+    spinal :class:`~repro.core.rateless.RatelessSession` *or* a
+    :class:`~repro.phy.session.CodecSession` over any registered code
+    family — the cell only drives the pausable-transmission interface.
+    """
+
+    session: "RatelessSession | CodecSession"
 
     @property
     def channel(self):
@@ -156,7 +163,7 @@ class RatelessLink:
 
     @property
     def payload_bits(self) -> int:
-        return self.session.framer.payload_bits
+        return self.session.payload_bits
 
     @property
     def max_symbols(self) -> int:

@@ -1,0 +1,116 @@
+"""Repetition coding behind the :class:`~repro.phy.protocol.RatelessCode` protocol.
+
+The floor of the code-family matrix: modulate the payload once, send it
+again and again, soft-combine LLRs at the receiver.  Repetition *is*
+rateless — every extra pass lowers the effective rate and raises
+reliability — it is just maximally inefficient about it (combining gain
+grows only logarithmically in SNR terms), which makes it the reference any
+real code family should dominate at every SNR.
+
+No self-contained success check exists (``verified`` is always False), so
+the family supports genie termination only — the same methodology the
+paper's Figure 2 uses for every curve.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.modulation import Modulation
+from repro.modulation.qam import make_modulation
+from repro.phy.protocol import CodeBlock, CodeInfo, DecodeStatus, NOT_ATTEMPTED
+from repro.utils.units import db_to_linear
+
+__all__ = ["RepetitionCode"]
+
+
+class _RepetitionSource:
+    """The same modulated payload, pass after pass."""
+
+    def __init__(self, code: "RepetitionCode", payload: np.ndarray) -> None:
+        self.symbols = code.modulation.modulate(payload)
+        self.next_pass = 0
+
+    def next_block(self) -> CodeBlock:
+        block = CodeBlock(index=self.next_pass, values=self.symbols, meta=self.next_pass)
+        self.next_pass += 1
+        return block
+
+
+class _RepetitionReceiver:
+    """Per-bit LLR accumulator; a decode is a hard decision on the sums."""
+
+    def __init__(self, code: "RepetitionCode") -> None:
+        self.code = code
+        self.llrs = np.zeros(code.info.payload_bits, dtype=np.float64)
+        self.passes = 0
+
+    def absorb(
+        self, block: CodeBlock, received: np.ndarray, attempt: bool = True
+    ) -> DecodeStatus:
+        self.llrs += self.code.modulation.demodulate_llr(
+            received, self.code.noise_energy
+        )
+        self.passes += 1
+        if not attempt:
+            return NOT_ATTEMPTED
+        return self.decode_now()
+
+    def decode_now(self) -> DecodeStatus:
+        estimate = (self.llrs < 0).astype(np.uint8)
+        return DecodeStatus(
+            attempted=True, estimate=estimate, payload=estimate, verified=False, work=1
+        )
+
+
+class RepetitionCode:
+    """Soft-combining repetition of a modulated payload.
+
+    Parameters
+    ----------
+    snr_db:
+        Operating SNR (sets the demapper's assumed noise energy).
+    payload_bits:
+        Message size; must be a multiple of the modulation's bits/symbol.
+    modulation:
+        Modulation name or instance (default BPSK: one bit per channel use).
+    """
+
+    def __init__(
+        self,
+        snr_db: float,
+        payload_bits: int,
+        modulation: str | Modulation = "BPSK",
+    ) -> None:
+        self.modulation = (
+            modulation
+            if isinstance(modulation, Modulation)
+            else make_modulation(modulation)
+        )
+        if payload_bits % self.modulation.bits_per_symbol != 0:
+            raise ValueError(
+                f"payload_bits={payload_bits} is not a multiple of the modulation's "
+                f"{self.modulation.bits_per_symbol} bits/symbol"
+            )
+        self.snr_db = float(snr_db)
+        self.noise_energy = 1.0 / db_to_linear(self.snr_db)
+        self.symbols_per_pass = payload_bits // self.modulation.bits_per_symbol
+        self.info = CodeInfo(
+            family="repetition",
+            payload_bits=int(payload_bits),
+            domain="symbol",
+            signal_power=1.0,
+        )
+
+    def new_encoder(self, payload: np.ndarray) -> _RepetitionSource:
+        return _RepetitionSource(self, np.asarray(payload, dtype=np.uint8))
+
+    def new_decoder(self) -> _RepetitionReceiver:
+        return _RepetitionReceiver(self)
+
+    def min_symbols_to_attempt(self) -> int:
+        """Nothing to decide on before one full pass has arrived."""
+        return self.symbols_per_pass
+
+    def reference(self, payload: np.ndarray) -> np.ndarray:
+        return np.asarray(payload, dtype=np.uint8)

@@ -1,0 +1,29 @@
+"""Once-per-process deprecation warnings for compatibility shims.
+
+The legacy entry points (``RatelessSession.run``, ``simulate_link_session``,
+the baselines' ``run_trial``-style methods) remain as byte-identical shims
+over the ``repro.phy`` codec API.  Each emits exactly one
+:class:`DeprecationWarning` per process — enough to steer readers to the new
+spelling without drowning sweep logs that call a shim millions of times.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+__all__ = ["warn_once", "reset_warnings"]
+
+_WARNED: set[str] = set()
+
+
+def warn_once(key: str, message: str) -> None:
+    """Emit ``message`` as a DeprecationWarning the first time ``key`` is seen."""
+    if key in _WARNED:
+        return
+    _WARNED.add(key)
+    warnings.warn(message, DeprecationWarning, stacklevel=3)
+
+
+def reset_warnings() -> None:
+    """Forget which keys have warned (test hook)."""
+    _WARNED.clear()

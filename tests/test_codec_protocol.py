@@ -1,0 +1,242 @@
+"""Conformance suite: every registered code family through one shared battery.
+
+The point of the ``repro.phy`` protocol is that the session loop, transport,
+relay and cell treat all code families identically — so the families must
+actually honour the contract.  Each test here is parametrized over the full
+registry; registering a new family automatically subjects it to the battery.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.code_family_matrix import code_family_matrix_point
+from repro.phy.families import (
+    CODE_FAMILY_NAMES,
+    channel_for_code,
+    code_family,
+    make_code,
+    make_codec_session,
+)
+from repro.phy.protocol import RatelessCode
+from repro.phy.session import CodecSession
+from repro.utils.bitops import random_message_bits
+from repro.utils.rng import spawn_rng
+
+SNR_DB = 10.0
+SEED = 20111114
+
+
+def _session(name: str, max_symbols: int = 4096) -> CodecSession:
+    return make_codec_session(
+        name, snr_db=SNR_DB, seed=SEED, smoke=True, max_symbols=max_symbols
+    )
+
+
+def _payload(session: CodecSession, label: str) -> np.ndarray:
+    return random_message_bits(
+        session.payload_bits, spawn_rng(SEED, "codec-payload", label)
+    )
+
+
+class TestRegistry:
+    def test_names_cover_the_registry(self):
+        assert set(CODE_FAMILY_NAMES) == {
+            "spinal",
+            "lt",
+            "ldpc-ir",
+            "fixed-spinal",
+            "repetition",
+        }
+        for name in CODE_FAMILY_NAMES:
+            assert code_family(name).name == name
+
+    def test_unknown_family_raises(self):
+        with pytest.raises(KeyError, match="unknown code family"):
+            code_family("turbo")
+
+    @pytest.mark.parametrize("name", CODE_FAMILY_NAMES)
+    def test_codes_satisfy_the_protocol(self, name):
+        code = make_code(name, seed=SEED, snr_db=SNR_DB, smoke=True)
+        assert isinstance(code, RatelessCode)
+        info = code.info
+        assert info.family == name
+        assert info.payload_bits > 0
+        assert info.domain in ("symbol", "bit")
+        assert code.min_symbols_to_attempt() >= 1
+
+    @pytest.mark.parametrize("name", CODE_FAMILY_NAMES)
+    def test_channel_matches_the_code_domain(self, name):
+        code = make_code(name, seed=SEED, snr_db=SNR_DB, smoke=True)
+        channel = channel_for_code(code, SNR_DB)
+        assert channel.domain == code.info.domain
+
+
+class TestSessionBattery:
+    @pytest.mark.parametrize("name", CODE_FAMILY_NAMES)
+    def test_decodes_correctly_at_healthy_snr(self, name):
+        session = _session(name)
+        result = session.run(_payload(session, name), spawn_rng(SEED, "run", name))
+        assert result.success
+        assert result.payload_correct
+        assert 0 < result.symbols_sent <= session.max_symbols
+        assert result.decode_attempts >= 1
+        assert result.rate > 0
+
+    @pytest.mark.parametrize("name", CODE_FAMILY_NAMES)
+    def test_no_attempt_before_the_symbol_gate(self, name):
+        session = _session(name)
+        tx = session.open_transmission(
+            _payload(session, name), spawn_rng(SEED, "gate", name)
+        )
+        gate = session.code.min_symbols_to_attempt()
+        while tx.symbols_delivered + 1 < gate and not tx.decoded:
+            block, received = tx.send_next_block()
+            if tx.symbols_delivered + block.n_symbols >= gate:
+                break  # this delivery would open the gate
+            tx.deliver(block, received)
+            assert tx.decode_attempts == 0
+
+    @pytest.mark.parametrize("name", CODE_FAMILY_NAMES)
+    def test_absorb_order_invariance(self, name):
+        session = _session(name)
+        code = session.code
+        if not code.info.order_invariant:
+            pytest.skip(f"{name} declares order-dependent decoding")
+        tx = session.open_transmission(
+            _payload(session, name), spawn_rng(SEED, "order", name)
+        )
+        blocks: list = []
+        while True:
+            block, received = tx.send_next_block()
+            blocks.append((block, received))
+            if tx.deliver(block, received) or tx.exhausted:
+                break
+        assert tx.decoded, "battery needs a decodable trace; raise the SNR"
+
+        def final_estimate(order):
+            decoder = code.new_decoder()
+            for block, received in order:
+                decoder.absorb(block, received, attempt=False)
+            return decoder.decode_now().estimate
+
+        in_order = final_estimate(blocks)
+        shuffled = list(blocks)
+        spawn_rng(SEED, "order-shuffle", name).shuffle(shuffled)
+        assert in_order is not None
+        assert np.array_equal(in_order, final_estimate(shuffled))
+        assert np.array_equal(in_order, final_estimate(list(reversed(blocks))))
+
+    @pytest.mark.parametrize("name", CODE_FAMILY_NAMES)
+    def test_pause_resume_matches_back_to_back(self, name):
+        """Interleaving two packets changes nothing about either (pause/resume)."""
+        session = _session(name)
+        payloads = [_payload(session, f"{name}-a"), _payload(session, f"{name}-b")]
+
+        def rngs():
+            return [spawn_rng(SEED, "interleave", name, i) for i in range(2)]
+
+        solo = []
+        for payload, rng in zip(payloads, rngs()):
+            tx = session.open_transmission(payload, rng)
+            while not tx.decoded and not tx.exhausted:
+                block, received = tx.send_next_block()
+                tx.deliver(block, received)
+            solo.append((tx.symbols_sent, tx.decoded))
+
+        txs = [
+            session.open_transmission(payload, rng)
+            for payload, rng in zip(payloads, rngs())
+        ]
+        while any(not tx.decoded and not tx.exhausted for tx in txs):
+            for tx in txs:  # round-robin, one block each: pause/resume per block
+                if not tx.decoded and not tx.exhausted:
+                    block, received = tx.send_next_block()
+                    tx.deliver(block, received)
+        interleaved = [(tx.symbols_sent, tx.decoded) for tx in txs]
+        assert interleaved == solo
+
+    @pytest.mark.parametrize("name", CODE_FAMILY_NAMES)
+    def test_zero_symbol_best_effort(self, name):
+        """A fresh decoder's forced decode must not crash (zero-symbol edge)."""
+        code = make_code(name, seed=SEED, snr_db=SNR_DB, smoke=True)
+        status = code.new_decoder().decode_now()
+        assert status.attempted
+        # The estimate may be anything (or absent), but the fields must agree.
+        assert (status.estimate is None) == (status.payload is None)
+
+    @pytest.mark.parametrize("name", CODE_FAMILY_NAMES)
+    def test_budget_exhaustion_is_contained(self, name):
+        """A starved session fails cleanly: no crash, budget respected."""
+        session = make_codec_session(
+            name, snr_db=-15.0, seed=SEED, smoke=True, max_symbols=2
+        )
+        result = session.run(
+            _payload(session, name), spawn_rng(SEED, "starve", name)
+        )
+        assert not result.success
+        # The sender may overshoot a tiny budget by at most one block.
+        largest_block = max(
+            session.code.new_encoder(_payload(session, name)).next_block().n_symbols, 1
+        )
+        assert result.symbols_sent <= session.max_symbols + largest_block
+        assert result.decode_attempts >= 1  # the best-effort decode ran
+
+    @pytest.mark.parametrize("name", CODE_FAMILY_NAMES)
+    def test_seed_determinism(self, name):
+        session = _session(name)
+        payload = _payload(session, name)
+        results = [
+            session.run(payload, spawn_rng(SEED, "det", name)) for _ in range(2)
+        ]
+        a, b = results
+        assert a.symbols_sent == b.symbols_sent
+        assert a.decode_attempts == b.decode_attempts
+        assert a.work == b.work
+        assert a.success == b.success
+        if a.decoded_payload is None:
+            assert b.decoded_payload is None
+        else:
+            assert np.array_equal(a.decoded_payload, b.decoded_payload)
+
+
+class TestMatrixKernel:
+    """The experiment kernel is deterministic — what worker-invariance needs."""
+
+    @pytest.mark.parametrize("scenario", ("single-hop", "relay-3", "cell-8"))
+    def test_kernel_is_deterministic(self, scenario):
+        params = {
+            "code": "spinal",
+            "scenario": scenario,
+            "snr_db": 8.0,
+            "seed": SEED,
+            "scale": "smoke",
+            "packets": 2,
+            "cell_packets_per_user": 1,
+            "cell_snr_spread_db": 6.0,
+            "budget_factor": 8.0,
+        }
+        first = code_family_matrix_point(params, spawn_rng(SEED, "kernel", 0))
+        second = code_family_matrix_point(params, spawn_rng(SEED, "kernel", 1))
+        assert first == second
+        assert first["goodput"] > 0
+
+    @pytest.mark.parametrize("name", CODE_FAMILY_NAMES)
+    def test_every_family_completes_every_scenario(self, name):
+        for scenario in ("single-hop", "relay-3", "cell-8"):
+            params = {
+                "code": name,
+                "scenario": scenario,
+                "snr_db": 8.0,
+                "seed": SEED,
+                "scale": "smoke",
+                "packets": 2,
+                "cell_packets_per_user": 1,
+                "cell_snr_spread_db": 6.0,
+                "budget_factor": 8.0,
+            }
+            metrics = code_family_matrix_point(params, spawn_rng(SEED, "all", name))
+            assert metrics["n_packets"] > 0
+            assert 0.0 <= metrics["delivered_fraction"] <= 1.0
+            assert metrics["symbols_sent"] > 0

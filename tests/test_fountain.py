@@ -117,3 +117,61 @@ class TestDecoder:
     def test_validation(self):
         with pytest.raises(ValueError):
             LTDecoder(n_blocks=0, block_bits=8)
+
+
+class TestRedundantSymbolsAfterSuccess:
+    """Regression: absorbing symbols after completion must be a strict no-op."""
+
+    def _completed_decoder(self, rng):
+        data = random_message_bits(48, rng)
+        encoder = LTEncoder(data, block_bits=8, seed=23)
+        decoder = LTDecoder(n_blocks=encoder.n_blocks, block_bits=8)
+        stream = encoder.stream()
+        while not decoder.is_complete:
+            decoder.add_symbol(next(stream))
+        return data, encoder, decoder
+
+    def _snapshot(self, decoder):
+        return (
+            decoder.symbols_consumed,
+            {k: v.copy() for k, v in decoder.recovered.items()},
+            [(set(r), v.copy()) for r, v in decoder._pending],
+        )
+
+    def test_duplicate_symbol_after_success_is_noop(self, rng):
+        data, encoder, decoder = self._completed_decoder(rng)
+        consumed, recovered, pending = self._snapshot(decoder)
+        decoder.add_symbol(encoder.symbol(0))  # duplicate of an absorbed symbol
+        assert decoder.symbols_consumed == consumed
+        assert len(decoder._pending) == len(pending)
+        assert set(decoder.recovered) == set(recovered)
+        for index, value in recovered.items():
+            assert np.array_equal(decoder.recovered[index], value)
+        assert np.array_equal(decoder.data_bits(), data)
+
+    def test_degenerate_symbol_after_success_is_noop(self, rng):
+        data, encoder, decoder = self._completed_decoder(rng)
+        consumed, recovered, _ = self._snapshot(decoder)
+        # A degenerate symbol: fully reduced by the recovered blocks — and
+        # even a *corrupted* one (inconsistent value) must not mutate state.
+        from repro.fountain.lt import LTSymbol
+
+        corrupted = LTSymbol(
+            seed=999,
+            neighbours=(0,),
+            value=(decoder.recovered[0] ^ 1).astype(np.uint8),
+        )
+        decoder.add_symbol(corrupted)
+        assert decoder.symbols_consumed == consumed
+        assert np.array_equal(decoder.data_bits(), data)
+        for index, value in recovered.items():
+            assert np.array_equal(decoder.recovered[index], value)
+
+    def test_fresh_symbols_keep_streaming_harmlessly(self, rng):
+        data, encoder, decoder = self._completed_decoder(rng)
+        before = decoder.symbols_consumed
+        for seed in range(100, 120):
+            decoder.add_symbol(encoder.symbol(seed))
+        assert decoder.symbols_consumed == before
+        assert decoder.is_complete
+        assert np.array_equal(decoder.data_bits(), data)
