@@ -90,12 +90,13 @@ def _rateless_trial_work(decoder_cls) -> tuple[int, int]:
         max_symbols=config.symbol_budget(awgn_capacity_db(snr_db)),
         search="sequential",
     )
+    codec = session.codec_session()
     candidates = attempts = 0
     for trial in range(4):
         rng = spawn_rng(config.seed, "trial", snr_db, trial)
         payload = random_message_bits(config.payload_bits, rng)
-        result = session.run(payload, rng)
-        candidates += result.candidates_explored
+        result = codec.run(payload, rng)
+        candidates += result.work
         attempts += result.decode_attempts
     return candidates, attempts
 

@@ -49,8 +49,10 @@ from repro.channels import (
     TimeVaryingAWGNChannel,
 )
 from repro.core import (
+    BatchDecoder,
     BubbleDecoder,
     IncrementalBubbleDecoder,
+    VectorizedBubbleDecoder,
     CRC8,
     CRC16_CCITT,
     CRC32,
@@ -92,6 +94,8 @@ __all__ = [
     "SpinalEncoder",
     "BubbleDecoder",
     "IncrementalBubbleDecoder",
+    "VectorizedBubbleDecoder",
+    "BatchDecoder",
     "MLDecoder",
     "StackDecoder",
     "RatelessSession",

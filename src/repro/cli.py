@@ -61,9 +61,10 @@ def _add_runner_arguments(parser: argparse.ArgumentParser) -> None:
     """Arguments shared by every command that drives the Monte-Carlo runner."""
     parser.add_argument(
         "--decoder",
-        choices=("incremental", "bubble"),
+        choices=("incremental", "vectorized", "bubble"),
         default="incremental",
-        help="decoding engine: stateful incremental (fast) or from-scratch bubble",
+        help="decoding engine: stateful incremental, whole-beam vectorized, "
+        "or from-scratch bubble (identical results, different speed)",
     )
     parser.add_argument(
         "--workers",

@@ -19,6 +19,9 @@ and Shah (HotNets 2011):
 * :mod:`repro.core.decoder_incremental` — the stateful incremental engine
   that reuses beam state across the rateless session's decode attempts
   (bit-identical results, a fraction of the work).
+* :mod:`repro.core.decoder_vectorized` — the whole-beam array-op engine and
+  the :class:`BatchDecoder` front for decoding many concurrent sessions as
+  stacked kernels (bit-identical results again, with an optional numba tier).
 * :mod:`repro.core.rateless` — the sender/receiver rateless session used by
   every experiment.
 * :mod:`repro.core.crc` / :mod:`repro.core.framing` — termination checking.
@@ -34,6 +37,12 @@ from repro.core.decoder_bubble import BubbleDecoder, DecodeResult
 from repro.core.decoder_incremental import IncrementalBubbleDecoder
 from repro.core.decoder_ml import MLDecoder
 from repro.core.decoder_stack import StackDecoder
+from repro.core.decoder_vectorized import (
+    BatchDecoder,
+    DECODER_ENGINES,
+    VectorizedBubbleDecoder,
+    make_decoder_factory,
+)
 from repro.core.encoder import ReceivedObservations, SpinalEncoder
 from repro.core.framing import Framer
 from repro.core.hashing import SaltedHashFamily
@@ -60,6 +69,10 @@ __all__ = [
     "StridedPuncturing",
     "BubbleDecoder",
     "IncrementalBubbleDecoder",
+    "VectorizedBubbleDecoder",
+    "BatchDecoder",
+    "DECODER_ENGINES",
+    "make_decoder_factory",
     "MLDecoder",
     "StackDecoder",
     "DecodeResult",

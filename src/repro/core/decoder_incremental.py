@@ -240,11 +240,20 @@ class IncrementalBubbleDecoder:
                 if parent_match:
                     matrix[:, :common] = cache.cost_matrix[:, :common]
                 else:
-                    idx = np.searchsorted(cache.sorted_states, flat_states)
-                    idx = np.minimum(idx, cache.sorted_states.size - 1)
-                    hit = cache.sorted_states[idx] == flat_states
-                    rows = cache.sort_order[idx]
-                    matrix[hit, :common] = cache.cost_matrix[rows[hit], :common]
+                    if cache.sorted_states.size:
+                        idx = np.searchsorted(cache.sorted_states, flat_states)
+                        # searchsorted returns indices in [0, size]; clamp the
+                        # one-past-the-end miss so the hit check below can
+                        # index.  With an empty cache this expression would
+                        # yield -1 and the lookup would fault (or, for a
+                        # hypothetical non-empty idx, wrap to the last row),
+                        # hence the emptiness guard: no rows can hit.
+                        idx = np.minimum(idx, cache.sorted_states.size - 1)
+                        hit = cache.sorted_states[idx] == flat_states
+                        rows = cache.sort_order[idx]
+                        matrix[hit, :common] = cache.cost_matrix[rows[hit], :common]
+                    else:
+                        hit = np.zeros(n_flat, dtype=bool)
                     miss = ~hit
                     n_miss = int(miss.sum())
                     if n_miss:

@@ -72,6 +72,11 @@ class ReceivedObservations:
     tree position by position and needs, at level ``t``, every received value
     that was generated from spine value ``s_t`` (across all passes received
     so far), together with the pass index that salted it.
+
+    The store is append-only: observations are never removed or reordered,
+    which is what lets the incremental decoders treat "same store object,
+    same per-position version" (see :meth:`version_at`) as proof that a
+    position's columns are unchanged since the last decode attempt.
     """
 
     def __init__(self, n_segments: int) -> None:
@@ -81,6 +86,8 @@ class ReceivedObservations:
         self._pass_indices: list[list[int]] = [[] for _ in range(n_segments)]
         self._values: list[list[complex]] = [[] for _ in range(n_segments)]
         self._total = 0
+        self._versions: list[int] = [0] * n_segments
+        self._array_cache: dict[int, tuple[int, np.ndarray, np.ndarray]] = {}
 
     def add_block(self, block: SubpassBlock, received_values: np.ndarray) -> None:
         """Record the received counterparts of one transmitted subpass."""
@@ -104,15 +111,42 @@ class ReceivedObservations:
         self._pass_indices[position].append(pass_index)
         self._values[position].append(value)
         self._total += 1
+        self._versions[position] += 1
 
-    def for_position(self, position: int) -> tuple[np.ndarray, np.ndarray]:
-        """Return (pass indices, received values) available at a position."""
+    def version_at(self, position: int) -> int:
+        """Monotone per-position change counter (0 while nothing received).
+
+        Because the store is append-only, a caller that remembers both this
+        store object and ``version_at(position)`` can later conclude — in
+        O(1), without comparing arrays — that the position's observation
+        columns are exactly as it last saw them whenever both still match.
+        """
         if not 0 <= position < self.n_segments:
             raise ValueError(f"position {position} out of range [0, {self.n_segments})")
-        return (
-            np.asarray(self._pass_indices[position], dtype=np.int64),
-            np.asarray(self._values[position]),
-        )
+        return self._versions[position]
+
+    def for_position(self, position: int) -> tuple[np.ndarray, np.ndarray]:
+        """Return (pass indices, received values) available at a position.
+
+        The returned arrays are cached, immutable snapshots: they are marked
+        read-only, are shared between callers, and remain valid (unchanged)
+        if the store grows afterwards — later calls return fresh arrays
+        instead of mutating old ones.  The decode hot path calls this once
+        per tree level per attempt, so the list-to-array conversion must not
+        be paid again while a position is unchanged.
+        """
+        if not 0 <= position < self.n_segments:
+            raise ValueError(f"position {position} out of range [0, {self.n_segments})")
+        version = self._versions[position]
+        cached = self._array_cache.get(position)
+        if cached is not None and cached[0] == version:
+            return cached[1], cached[2]
+        pass_indices = np.asarray(self._pass_indices[position], dtype=np.int64)
+        values = np.asarray(self._values[position])
+        pass_indices.flags.writeable = False
+        values.flags.writeable = False
+        self._array_cache[position] = (version, pass_indices, values)
+        return pass_indices, values
 
     def count_at(self, position: int) -> int:
         return len(self._values[position])

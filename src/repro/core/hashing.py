@@ -33,7 +33,14 @@ from dataclasses import dataclass
 
 import numpy as np
 
-__all__ = ["SaltedHashFamily", "splitmix64", "popcount64", "avalanche_score"]
+__all__ = [
+    "SaltedHashFamily",
+    "splitmix64",
+    "popcount64",
+    "avalanche_score",
+    "hash_spine_keyed",
+    "symbol_word_keyed",
+]
 
 # splitmix64 constants (Steele, Lea & Flood; public domain reference values).
 _GOLDEN = np.uint64(0x9E3779B97F4A7C15)
@@ -65,6 +72,46 @@ def splitmix64(value: np.ndarray | int) -> np.ndarray | int:
         z = z + _GOLDEN
         z = _mix(z)
     return int(z) if scalar else z
+
+
+def hash_spine_keyed(
+    states: np.ndarray, segments: np.ndarray, key1: np.ndarray | np.uint64
+) -> np.ndarray:
+    """The raw ``h(s, m)`` kernel with an explicit family key.
+
+    ``states``, ``segments`` and ``key1`` broadcast against each other, so a
+    batch decoder can expand the stacked beams of *many* sessions — each
+    with its own hash family — in a single call by passing a per-element (or
+    per-row) key array.  :meth:`SaltedHashFamily.hash_spine` delegates here,
+    which guarantees the batched and single-session spellings are the same
+    arithmetic, element for element.
+    """
+    s = np.asarray(states, dtype=np.uint64)
+    m = np.asarray(segments, dtype=np.uint64)
+    with np.errstate(over="ignore"):
+        z = _mix(s ^ key1)
+        z = _mix(z ^ (m * _GOLDEN) ^ _SPINE_DOMAIN)
+        # A second absorption of the state guards against the (remote)
+        # possibility of two (s, m) pairs colliding after one round.
+        z = _mix(z ^ (s * _MIX1))
+    return z
+
+
+def symbol_word_keyed(
+    states: np.ndarray, pass_index: np.ndarray, key2: np.ndarray | np.uint64
+) -> np.ndarray:
+    """The raw salted symbol PRF with an explicit family key.
+
+    Broadcasting counterpart of :meth:`SaltedHashFamily.symbol_word` (which
+    delegates here); see :func:`hash_spine_keyed` for why the key is a
+    parameter.
+    """
+    s = np.asarray(states, dtype=np.uint64)
+    p = np.asarray(pass_index, dtype=np.uint64)
+    with np.errstate(over="ignore"):
+        z = _mix(s ^ key2 ^ (p * _PASS_STRIDE))
+        z = _mix(z ^ (s * _MIX2) ^ _SYMBOL_DOMAIN)
+    return z
 
 
 @dataclass(frozen=True)
@@ -117,19 +164,12 @@ class SaltedHashFamily:
 
         Returns a ``uint64`` array of new spine values.
         """
-        s = np.asarray(states, dtype=np.uint64)
         m = np.asarray(segments, dtype=np.uint64)
         if m.size and int(m.max()) >= (1 << self.k):
             raise ValueError(
                 f"segment value {int(m.max())} does not fit in k={self.k} bits"
             )
-        with np.errstate(over="ignore"):
-            z = _mix(s ^ self._key1)
-            z = _mix(z ^ (m * _GOLDEN) ^ _SPINE_DOMAIN)
-            # A second absorption of the state guards against the (remote)
-            # possibility of two (s, m) pairs colliding after one round.
-            z = _mix(z ^ (s * _MIX1))
-        return z
+        return hash_spine_keyed(states, m, self._key1)
 
     def hash_spine_scalar(self, state: int, segment: int) -> int:
         """Scalar convenience wrapper around :meth:`hash_spine`."""
@@ -148,12 +188,7 @@ class SaltedHashFamily:
         """
         if np.any(np.asarray(pass_index) < 0):
             raise ValueError("pass_index must be non-negative")
-        s = np.asarray(states, dtype=np.uint64)
-        p = np.asarray(pass_index, dtype=np.uint64)
-        with np.errstate(over="ignore"):
-            z = _mix(s ^ self._key2 ^ (p * _PASS_STRIDE))
-            z = _mix(z ^ (s * _MIX2) ^ _SYMBOL_DOMAIN)
-        return z
+        return symbol_word_keyed(states, pass_index, self._key2)
 
     def symbol_value(
         self,

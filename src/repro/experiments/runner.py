@@ -14,9 +14,11 @@ Two performance knobs, both result-preserving:
 
 * ``decoder`` selects the receiver's decoding engine: ``"incremental"``
   (default — :class:`IncrementalBubbleDecoder`, which reuses beam state
-  across a trial's decode attempts) or ``"bubble"`` (the from-scratch
-  reference :class:`BubbleDecoder`).  The two produce bit-identical trial
-  outcomes; the incremental engine just evaluates far fewer tree nodes.
+  across a trial's decode attempts), ``"vectorized"``
+  (:class:`~repro.core.decoder_vectorized.VectorizedBubbleDecoder`, the
+  whole-beam array-op engine) or ``"bubble"`` (the from-scratch reference
+  :class:`BubbleDecoder`).  All engines produce bit-identical trial
+  outcomes; the stateful ones just evaluate far fewer tree nodes.
 * ``n_workers`` fans the point's independent trials out over worker
   *processes*.  Every trial derives its generator from
   ``spawn_rng(seed, "trial", label, trial)`` regardless of which worker
@@ -34,8 +36,7 @@ from repro.channels.awgn import AWGNChannel
 from repro.channels.base import Channel
 from repro.channels.bsc import BSCChannel
 from repro.core.crc import Crc
-from repro.core.decoder_bubble import BubbleDecoder
-from repro.core.decoder_incremental import IncrementalBubbleDecoder
+from repro.core.decoder_vectorized import DECODER_ENGINES, make_decoder_factory
 from repro.core.encoder import SpinalEncoder
 from repro.core.framing import Framer
 from repro.core.params import SpinalParams
@@ -113,8 +114,9 @@ class SpinalRunConfig:
     genie termination, with decode attempts after every symbol.
 
     ``decoder`` picks the decoding engine (``"incremental"`` by default,
-    ``"bubble"`` for the from-scratch reference — identical results, more
-    work) and ``n_workers`` the number of worker processes the point's
+    ``"vectorized"`` for the whole-beam array-op engine, ``"bubble"`` for
+    the from-scratch reference — identical results either way, different
+    amounts of work) and ``n_workers`` the number of worker processes the point's
     trials are fanned out over (any value returns results identical to
     ``n_workers=1``; see the module docstring).
     """
@@ -136,9 +138,10 @@ class SpinalRunConfig:
     n_workers: int = 1
 
     def __post_init__(self) -> None:
-        if self.decoder not in ("incremental", "bubble"):
+        if self.decoder not in DECODER_ENGINES:
             raise ValueError(
-                f"unknown decoder {self.decoder!r}; expected 'incremental' or 'bubble'"
+                f"unknown decoder {self.decoder!r}; "
+                f"expected one of {sorted(DECODER_ENGINES)}"
             )
         if self.n_workers < 1:
             raise ValueError(f"n_workers must be at least 1, got {self.n_workers}")
@@ -160,13 +163,7 @@ class SpinalRunConfig:
         return SpinalEncoder(self.params, puncturing=make_puncturing(self.puncturing))
 
     def decoder_factory(self):
-        beam_width = self.beam_width
-        cls = IncrementalBubbleDecoder if self.decoder == "incremental" else BubbleDecoder
-
-        def factory(encoder: SpinalEncoder):
-            return cls(encoder, beam_width=beam_width)
-
-        return factory
+        return make_decoder_factory(self.decoder, self.beam_width)
 
     def build_session(
         self,

@@ -18,11 +18,13 @@ whose entries are instances of this class at different ``n_passes``.
 
 from __future__ import annotations
 
+import os
 from typing import Callable
 
 import numpy as np
 
 from repro.core.decoder_bubble import BubbleDecoder
+from repro.core.decoder_vectorized import make_decoder_factory
 from repro.core.encoder import ReceivedObservations, SpinalEncoder
 from repro.core.params import SpinalParams
 from repro.phy.protocol import CodeBlock, CodeInfo, DecodeStatus, NOT_ATTEMPTED
@@ -118,11 +120,13 @@ class FixedRateSpinalCode:
         self.n_passes = int(n_passes)
         self.encoder = SpinalEncoder(self.params)
         beam = int(beam_width)
-        self.decoder_factory = (
-            decoder_factory
-            if decoder_factory is not None
-            else (lambda encoder: BubbleDecoder(encoder, beam_width=beam))
-        )
+        if decoder_factory is None:
+            # A fixed-rate frame is decoded once per ARQ attempt, so any
+            # registered engine gives identical results; honour the same
+            # environment knob as the rateless family.
+            engine = os.environ.get("REPRO_SPINAL_DECODER", "bubble")
+            decoder_factory = make_decoder_factory(engine, beam)
+        self.decoder_factory = decoder_factory
         symbols_per_frame = self.n_passes * self.n_segments
         self.info = CodeInfo(
             family="fixed-spinal",

@@ -170,6 +170,53 @@ class TestSubpassEquivalence:
             IncrementalBubbleDecoder(encoder, beam_width=8, max_unpruned_width=4)
 
 
+class TestEmptyCacheRegression:
+    def test_zero_width_cached_expansion_does_not_wrap_index(self):
+        """Replay an observation history that leaves a level's cached
+        expansion zero-width and then forces the row-lookup path.
+
+        The row-reuse lookup clamps ``searchsorted`` misses with
+        ``np.minimum(idx, sorted_states.size - 1)``.  On an empty cached
+        expansion that clamp produces index ``-1``, which wraps to the *last*
+        row of the (empty) sorted array and faulted with an ``IndexError``
+        before the emptiness guard was added — and would silently alias the
+        final row on any hypothetical non-empty miss.  The beam expansion of
+        a live decode is never empty (it has ``beam x 2^k`` children), so the
+        zero-width state is replayed here by editing the level cache the way
+        a defensive reset could leave it: expansion arrays emptied, parent
+        beam drifted.  The decoder must treat every probe as a miss,
+        recompute the rows, and stay bit-identical to a fresh decode.
+        """
+        params = SpinalParams(k=2, c=4, seed=17)
+        encoder = SpinalEncoder(params, puncturing=SymbolBySymbol())
+        rng = spawn_rng(808, "equiv-empty-cache")
+        message = random_message_bits(8, rng)
+        channel = AWGNChannel(snr_db=6.0, adc_bits=14)
+        sent = _stream_blocks(encoder, message, channel, rng, 8)
+
+        incremental = IncrementalBubbleDecoder(encoder, beam_width=2)
+        observations = ReceivedObservations(params.n_segments(8))
+        for block, out in sent[:4]:
+            observations.add_block(block, out)
+        incremental.decode(8, observations)
+
+        cache = incremental._levels[1]
+        assert cache.obs_pass_indices.size > 0  # the overlap below is real
+        cache.sorted_states = np.empty(0, dtype=np.uint64)
+        cache.sort_order = np.empty(0, dtype=np.int64)
+        # Drift the recorded parent beam so the wholesale-reuse fast path is
+        # off and the decoder must go through the sorted-states row lookup.
+        cache.parent_states = cache.parent_states + np.uint64(1)
+
+        for block, out in sent[4:]:
+            observations.add_block(block, out)
+        reference = BubbleDecoder(encoder, beam_width=2).decode(8, observations)
+        result = incremental.decode(8, observations)
+        assert np.array_equal(result.message_bits, reference.message_bits)
+        assert result.path_cost == reference.path_cost
+        assert result.beam_trace == reference.beam_trace
+
+
 class TestFigure2Acceptance:
     def test_three_fold_reduction_at_figure2_operating_point(self):
         """The PR's headline claim, pinned: >= 3x fewer tree-node evaluations

@@ -1,0 +1,378 @@
+"""Differential suite locking the vectorized engine to the reference.
+
+:class:`VectorizedBubbleDecoder` restructures the beam walk as whole-beam
+array operations with persistent parent-keyed caches, and
+:class:`BatchDecoder` stacks many sessions into shared kernels — but the
+results contract is the same as everywhere else in the decoder family:
+bit-identical ``message_bits``, ``path_cost`` (to the last ulp, same
+tie-breaks) and ``beam_trace`` versus a fresh :class:`BubbleDecoder` on the
+same observations.  These tests enforce that over randomized
+(k, B, puncturing, channel) configurations, growing and shrinking
+(bisection-replayed) observation sets, degenerate beam widths, cache
+eviction pressure, the numba feature flag, and the batched path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.channels.awgn import AWGNChannel
+from repro.channels.bsc import BSCChannel
+from repro.core.decoder_bubble import BubbleDecoder
+from repro.core.decoder_vectorized import (
+    BatchDecoder,
+    DECODER_ENGINES,
+    VectorizedBubbleDecoder,
+    _LevelCache,
+    make_decoder_factory,
+    njit_available,
+)
+from repro.core.encoder import ReceivedObservations, SpinalEncoder
+from repro.core.framing import Framer
+from repro.core.params import SpinalParams
+from repro.core.puncturing import (
+    NoPuncturing,
+    StridedPuncturing,
+    SymbolBySymbol,
+    TailFirstPuncturing,
+)
+from repro.core.rateless import RatelessSession
+from repro.utils.bitops import random_message_bits
+from repro.utils.rng import spawn_rng
+
+_SCHEDULES = {
+    "none": NoPuncturing,
+    "symbol": SymbolBySymbol,
+    "strided": lambda: StridedPuncturing(stride=4),
+    "tail-first": TailFirstPuncturing,
+}
+
+
+def _random_config(trial: int):
+    """Draw one randomized (params, puncturing, channel, payload) setup."""
+    rng = spawn_rng(909, "vec-config", trial)
+    k = int(rng.choice([1, 2, 3, 4]))
+    beam = int(rng.choice([1, 2, 4, 8]))
+    bit_mode = bool(rng.random() < 0.3)
+    schedule = _SCHEDULES[rng.choice(list(_SCHEDULES))]()
+    params = SpinalParams(
+        k=k,
+        c=int(rng.choice([4, 6])),
+        seed=int(rng.integers(0, 2**32)),
+        bit_mode=bit_mode,
+    )
+    if bit_mode:
+        channel = BSCChannel(float(rng.uniform(0.01, 0.1)))
+    else:
+        channel = AWGNChannel(snr_db=float(rng.uniform(3.0, 15.0)), adc_bits=14)
+    n_bits = k * int(rng.integers(3, 7))
+    return params, schedule, channel, n_bits, rng
+
+
+def _stream_blocks(encoder, message, channel, rng, n_subpasses):
+    """Transmit ``n_subpasses`` subpasses, returning (block, received) pairs."""
+    stream = encoder.symbol_stream(message)
+    sent = []
+    while len(sent) < n_subpasses:
+        block = next(stream)
+        sent.append((block, channel.transmit(block.values, rng)))
+    return sent
+
+
+def _assert_identical(result, reference):
+    assert np.array_equal(result.message_bits, reference.message_bits)
+    assert result.path_cost == reference.path_cost
+    assert result.beam_trace == reference.beam_trace
+
+
+class TestSubpassEquivalence:
+    @pytest.mark.parametrize("trial", range(12))
+    def test_bit_identical_after_every_subpass(self, trial):
+        params, schedule, channel, n_bits, rng = _random_config(trial)
+        encoder = SpinalEncoder(params, puncturing=schedule)
+        message = random_message_bits(n_bits, rng)
+        n_segments = params.n_segments(n_bits)
+        n_subpasses = 3 * schedule.subpasses_per_cycle(n_segments)
+        beam = int(spawn_rng(909, "vec-beam", trial).choice([1, 2, 4, 8]))
+
+        fresh = BubbleDecoder(encoder, beam_width=beam)
+        vectorized = VectorizedBubbleDecoder(encoder, beam_width=beam)
+        observations = ReceivedObservations(n_segments)
+        for block, received in _stream_blocks(encoder, message, channel, rng, n_subpasses):
+            observations.add_block(block, received)
+            reference = fresh.decode(n_bits, observations)
+            result = vectorized.decode(n_bits, observations)
+            _assert_identical(result, reference)
+
+    def test_equivalence_under_shrinking_observations(self):
+        """The bisection strategy replays truncated prefixes in any order."""
+        params = SpinalParams(k=3, c=6, seed=99)
+        encoder = SpinalEncoder(params, puncturing=TailFirstPuncturing())
+        rng = spawn_rng(909, "vec-shrink")
+        message = random_message_bits(12, rng)
+        channel = AWGNChannel(snr_db=8.0, adc_bits=14)
+        sent = _stream_blocks(encoder, message, channel, rng, 12)
+        blocks = [block for block, _ in sent]
+        received = [out for _, out in sent]
+        total = sum(block.n_symbols for block in blocks)
+        full = ReceivedObservations(params.n_segments(12))
+        for block, out in sent:
+            full.add_block(block, out)
+
+        vectorized = VectorizedBubbleDecoder(encoder, beam_width=4)
+        fresh = BubbleDecoder(encoder, beam_width=4)
+        for boundary in [2, 4, 8, total, total // 2, total // 4, 3 * total // 4, total]:
+            view = full.truncated(boundary, blocks, received)
+            reference = fresh.decode(12, view)
+            result = vectorized.decode(12, view)
+            _assert_identical(result, reference)
+
+    def test_repeat_decode_is_free_and_identical(self):
+        params = SpinalParams(k=2, c=4, seed=5)
+        encoder = SpinalEncoder(params)
+        rng = spawn_rng(909, "vec-repeat")
+        message = random_message_bits(8, rng)
+        channel = AWGNChannel(snr_db=10.0, adc_bits=14)
+        observations = ReceivedObservations(4)
+        for block, out in _stream_blocks(encoder, message, channel, rng, 2):
+            observations.add_block(block, out)
+        vectorized = VectorizedBubbleDecoder(encoder, beam_width=4)
+        first = vectorized.decode(8, observations)
+        again = vectorized.decode(8, observations)
+        assert np.array_equal(again.message_bits, first.message_bits)
+        assert again.path_cost == first.path_cost
+        assert first.candidates_explored > 0
+        assert again.candidates_explored == 0
+
+    def test_message_length_change_resets_state(self):
+        params = SpinalParams(k=2, c=4, seed=6)
+        encoder = SpinalEncoder(params)
+        rng = spawn_rng(909, "vec-resize")
+        channel = AWGNChannel(snr_db=12.0, adc_bits=14)
+        vectorized = VectorizedBubbleDecoder(encoder, beam_width=4)
+        for n_bits in (8, 12):
+            message = random_message_bits(n_bits, rng)
+            observations = ReceivedObservations(params.n_segments(n_bits))
+            for block, out in _stream_blocks(encoder, message, channel, rng, 3):
+                observations.add_block(block, out)
+            reference = BubbleDecoder(encoder, beam_width=4).decode(n_bits, observations)
+            result = vectorized.decode(n_bits, observations)
+            _assert_identical(result, reference)
+
+    def test_rejects_mismatched_observation_store(self):
+        params = SpinalParams(k=2, c=4)
+        encoder = SpinalEncoder(params)
+        vectorized = VectorizedBubbleDecoder(encoder, beam_width=4)
+        with pytest.raises(ValueError, match="segments"):
+            vectorized.decode(8, ReceivedObservations(3))
+
+    def test_constructor_validation_matches_bubble(self):
+        encoder = SpinalEncoder(SpinalParams(k=2, c=4))
+        with pytest.raises(ValueError):
+            VectorizedBubbleDecoder(encoder, beam_width=0)
+        with pytest.raises(ValueError):
+            VectorizedBubbleDecoder(encoder, beam_width=8, max_unpruned_width=4)
+
+
+class TestCacheBehaviour:
+    def test_lookup_on_empty_cache_has_no_hits(self):
+        """Probing a block-less level must report all-miss, not wrap to -1.
+
+        This is the vectorized twin of the ``decoder_incremental`` empty
+        ``sorted_states`` regression: ``searchsorted`` misses clamped with
+        ``np.minimum(idx, size - 1)`` become index ``-1`` on an empty array.
+        """
+        cache = _LevelCache(4)
+        probes = np.array([1, 2, 3], dtype=np.uint64)
+        assert np.array_equal(cache.lookup(probes), np.full(3, -1, dtype=np.int64))
+
+    def test_eviction_under_long_session_stays_exact(self):
+        """Enough attempts to force compact_grow evictions repeatedly.
+
+        KEEP_* are shrunk so a short test exercises the eviction branches
+        (cold-block drop and hottest-block cap); cache contents are a pure
+        performance policy, so outcomes must stay bit-identical throughout.
+        """
+        params = SpinalParams(k=3, c=4, seed=31)
+        encoder = SpinalEncoder(params, puncturing=SymbolBySymbol())
+        rng = spawn_rng(909, "vec-evict")
+        message = random_message_bits(12, rng)
+        channel = AWGNChannel(snr_db=-2.0, adc_bits=14)  # noisy: the beam churns
+        n_segments = params.n_segments(12)
+        vectorized = VectorizedBubbleDecoder(encoder, beam_width=4)
+        fresh = BubbleDecoder(encoder, beam_width=4)
+        observations = ReceivedObservations(n_segments)
+        compactions_possible = 0
+        for block, out in _stream_blocks(encoder, message, channel, rng, 40):
+            observations.add_block(block, out)
+            for cache in vectorized._levels:
+                cache.KEEP_BLOCKS  # attribute exists (class constant)
+            reference = fresh.decode(12, observations)
+            result = vectorized.decode(12, observations)
+            _assert_identical(result, reference)
+            compactions_possible += 1
+        # The per-level block count stays bounded by the eviction policy.
+        for cache in vectorized._levels:
+            assert cache.n_blocks <= 3 * _LevelCache.KEEP_BLOCKS + vectorized.beam_width
+
+    def test_work_accounting_is_no_more_than_fresh(self):
+        params = SpinalParams(k=2, c=4, seed=8)
+        encoder = SpinalEncoder(params, puncturing=SymbolBySymbol())
+        rng = spawn_rng(909, "vec-work")
+        message = random_message_bits(8, rng)
+        channel = AWGNChannel(snr_db=8.0, adc_bits=14)
+        observations = ReceivedObservations(4)
+        fresh = BubbleDecoder(encoder, beam_width=4)
+        vectorized = VectorizedBubbleDecoder(encoder, beam_width=4)
+        fresh_total = vec_total = 0
+        for block, out in _stream_blocks(encoder, message, channel, rng, 16):
+            observations.add_block(block, out)
+            fresh_total += fresh.decode(8, observations).candidates_explored
+            vec_total += vectorized.decode(8, observations).candidates_explored
+        assert 0 < vec_total < fresh_total
+
+
+class TestNumbaTier:
+    def test_flag_off_by_default(self, small_encoder):
+        assert VectorizedBubbleDecoder(small_encoder).njit_active is False
+
+    @pytest.mark.skipif(njit_available(), reason="exercises the numba-absent fallback")
+    def test_requesting_njit_without_numba_falls_back_cleanly(self, small_encoder, rng):
+        """use_njit=True with no numba must be silent, inactive and correct."""
+        decoder = VectorizedBubbleDecoder(small_encoder, beam_width=4, use_njit=True)
+        assert decoder.njit_active is False
+        message = rng.integers(0, 2, size=16).astype(np.uint8)
+        channel = AWGNChannel(snr_db=10.0, adc_bits=14)
+        observations = ReceivedObservations(4)
+        for block, out in _stream_blocks(small_encoder, message, channel, rng, 3):
+            observations.add_block(block, out)
+        reference = BubbleDecoder(small_encoder, beam_width=4).decode(16, observations)
+        _assert_identical(decoder.decode(16, observations), reference)
+
+    @pytest.mark.skipif(not njit_available(), reason="numba not installed")
+    def test_njit_tier_is_bit_exact(self, small_encoder, rng):
+        decoder = VectorizedBubbleDecoder(small_encoder, beam_width=4, use_njit=True)
+        assert decoder.njit_active is True
+        message = rng.integers(0, 2, size=16).astype(np.uint8)
+        channel = AWGNChannel(snr_db=6.0, adc_bits=14)
+        observations = ReceivedObservations(4)
+        fresh = BubbleDecoder(small_encoder, beam_width=4)
+        for block, out in _stream_blocks(small_encoder, message, channel, rng, 6):
+            observations.add_block(block, out)
+            _assert_identical(
+                decoder.decode(16, observations), fresh.decode(16, observations)
+            )
+
+
+class TestEngineRegistry:
+    def test_registry_names(self):
+        assert set(DECODER_ENGINES) == {"bubble", "incremental", "vectorized"}
+
+    def test_factory_builds_requested_engine(self, small_encoder):
+        decoder = make_decoder_factory("vectorized", 8)(small_encoder)
+        assert isinstance(decoder, VectorizedBubbleDecoder)
+        assert decoder.beam_width == 8
+
+    def test_factory_rejects_unknown_engine(self):
+        with pytest.raises(ValueError, match="unknown decoder"):
+            make_decoder_factory("magic", 8)
+
+    def test_run_config_accepts_vectorized(self):
+        from repro.experiments.runner import SpinalRunConfig
+
+        config = SpinalRunConfig(decoder="vectorized")
+        decoder = config.decoder_factory()(config.build_encoder())
+        assert isinstance(decoder, VectorizedBubbleDecoder)
+        with pytest.raises(ValueError, match="unknown decoder"):
+            SpinalRunConfig(decoder="magic")
+
+
+class TestSessionEquivalence:
+    def _session(self, factory, search):
+        params = SpinalParams(k=4, c=6, seed=21)
+        encoder = SpinalEncoder(params, puncturing=TailFirstPuncturing())
+        framer = Framer(payload_bits=16, k=params.k)
+        return RatelessSession(
+            encoder,
+            decoder_factory=factory,
+            channel=AWGNChannel(snr_db=10.0, adc_bits=14),
+            framer=framer,
+            termination="genie",
+            max_symbols=512,
+            search=search,
+        )
+
+    @pytest.mark.parametrize("search", ["sequential", "bisect"])
+    def test_trials_identical_to_fresh_reference(self, search):
+        results = {}
+        for name, factory in [
+            ("fresh", lambda enc: BubbleDecoder(enc, beam_width=8)),
+            ("vectorized", lambda enc: VectorizedBubbleDecoder(enc, beam_width=8)),
+        ]:
+            session = self._session(factory, search)
+            rng = spawn_rng(909, "vec-session", search)
+            payload = random_message_bits(16, rng)
+            results[name] = session.codec_session().run(payload, rng)
+        fresh, vec = results["fresh"], results["vectorized"]
+        assert vec.symbols_sent == fresh.symbols_sent
+        assert vec.decode_attempts == fresh.decode_attempts
+        assert np.array_equal(vec.decoded_payload, fresh.decoded_payload)
+        assert vec.work < fresh.work
+
+
+class TestBatchDecoder:
+    def _sessions(self, n_sessions, bit_mode=False, seed0=500):
+        """n independent sessions sharing the code shape, different seeds."""
+        encoders = [
+            SpinalEncoder(
+                SpinalParams(k=3, c=4, seed=seed0 + i, bit_mode=bit_mode)
+            )
+            for i in range(n_sessions)
+        ]
+        stores = []
+        rng = spawn_rng(909, "batch", n_sessions, bit_mode)
+        if bit_mode:
+            channel = BSCChannel(0.05)
+        else:
+            channel = AWGNChannel(snr_db=8.0, adc_bits=14)
+        for i, encoder in enumerate(encoders):
+            message = random_message_bits(12, rng)
+            observations = ReceivedObservations(4)
+            # Ragged: session i receives a different number of subpasses.
+            for block, out in _stream_blocks(encoder, message, channel, rng, 2 + i % 3):
+                observations.add_block(block, out)
+            stores.append(observations)
+        return encoders, stores
+
+    @pytest.mark.parametrize("n_sessions", [1, 3, 8])
+    def test_bit_identical_to_per_session_reference(self, n_sessions):
+        encoders, stores = self._sessions(n_sessions)
+        batch = BatchDecoder(encoders, beam_width=4)
+        results = batch.decode_all(12, stores)
+        for encoder, observations, result in zip(encoders, stores, results):
+            reference = BubbleDecoder(encoder, beam_width=4).decode(12, observations)
+            _assert_identical(result, reference)
+            assert result.candidates_explored == reference.candidates_explored
+
+    def test_bit_mode_batch(self):
+        encoders, stores = self._sessions(4, bit_mode=True)
+        results = BatchDecoder(encoders, beam_width=4).decode_all(12, stores)
+        for encoder, observations, result in zip(encoders, stores, results):
+            reference = BubbleDecoder(encoder, beam_width=4).decode(12, observations)
+            _assert_identical(result, reference)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="at least one"):
+            BatchDecoder([])
+        encoders, stores = self._sessions(2)
+        with pytest.raises(ValueError, match="beam_width"):
+            BatchDecoder(encoders, beam_width=0)
+        mixed = [encoders[0], SpinalEncoder(SpinalParams(k=4, c=4, seed=1))]
+        with pytest.raises(ValueError, match="code shape"):
+            BatchDecoder(mixed)
+        batch = BatchDecoder(encoders, beam_width=4)
+        with pytest.raises(ValueError, match="observation stores"):
+            batch.decode_all(12, stores[:1])
+        with pytest.raises(ValueError, match="segments"):
+            batch.decode_all(12, [stores[0], ReceivedObservations(7)])

@@ -20,6 +20,7 @@ from repro.link import (
     simulate_link_session,
 )
 from repro.utils.bitops import random_message_bits
+from repro.utils.deprecation import reset_warnings
 from repro.utils.rng import spawn_rng
 
 
@@ -69,7 +70,11 @@ class TestBlockFeedback:
 
 class TestLinkSession:
     def test_perfect_feedback_efficiency_is_one(self):
-        result = simulate_link_session([10, 20, 30], 24, PerfectFeedback())
+        # simulate_link_session is a deliberate exercise of the deprecated
+        # model-based accounting shim; make its warning explicit.
+        reset_warnings()
+        with pytest.warns(DeprecationWarning, match="run_link_transport"):
+            result = simulate_link_session([10, 20, 30], 24, PerfectFeedback())
         assert result.feedback_efficiency == pytest.approx(1.0)
         assert result.throughput_bits_per_symbol == pytest.approx(72 / 60)
 
