@@ -1,0 +1,161 @@
+"""Serve-soak benchmarks: the async session service under sustained load.
+
+Two acceptance claims of the serving-at-scale PR are pinned here:
+
+* serving **256 concurrent spinal sessions** through the batched decode
+  engine costs **>= 4x less wall-clock** than the one-session-at-a-time
+  sequential driver (the same engine with ``batching=False``: identical
+  event schedule, identical kernels, decode batches of one) — with a
+  **byte-identical delivery log** between the two drivers, and per-session
+  outcomes equal to plain ``CodecSession.run`` of each packet alone;
+* at smoke scale the engine sustains a deterministic symbol-time throughput
+  floor and p99 delivery-latency ceiling, every session delivers, and the
+  backpressure bound is never exceeded.  These metrics live on the event
+  clock, so the pins hold even on noisy CI machines; the summary is written
+  to ``serve_soak_summary.json`` at the repository root for the CI
+  ``serve-soak-smoke`` job to archive.
+
+Smoke mode (``REPRO_BENCH_SMOKE=1``) shrinks the soak and skips the
+wall-clock ratio pin — CI machines are too noisy for timing ratios; the
+correctness claims (byte-identical logs, baseline outcome equality) are
+asserted at every scale.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+from dataclasses import replace
+
+from _bench_utils import bench_smoke
+
+from repro.serve import SoakConfig, SoakEngine, run_sequential_baseline
+
+_SEED = 20111114
+#: Full-mode acceptance: batched vs sequential-driver wall-clock at 256 sessions.
+_MIN_SOAK_SPEEDUP = 4.0
+#: Smoke-mode deterministic floor on sustained throughput (symbols per tick).
+_MIN_SYMBOLS_PER_TICK = 4.0
+#: Smoke-mode deterministic ceiling on p99 delivery latency (ticks).
+_MAX_P99_LATENCY = 64.0
+#: Conservative wall-clock sanity floor (symbols per second, any machine).
+_MIN_SYMBOLS_PER_SECOND = 200.0
+
+_SUMMARY_PATH = pathlib.Path(__file__).resolve().parent.parent / "serve_soak_summary.json"
+
+#: The soak workload the >= 4x pin is taken at: long sessions (low SNR,
+#: 24-bit payloads) keep the decode stage the dominant cost, and a wide
+#: admission window keeps the decode batches large.
+_FULL_CONFIG = SoakConfig(
+    n_sessions=256,
+    max_in_flight=128,
+    snr_db=2.0,
+    seed=_SEED,
+    payload_bits=24,
+    k=4,
+    c=6,
+    beam_width=8,
+    max_symbols=512,
+)
+_SMOKE_CONFIG = SoakConfig(
+    n_sessions=32,
+    max_in_flight=8,
+    snr_db=8.0,
+    seed=_SEED,
+    payload_bits=16,
+    k=4,
+    c=6,
+    beam_width=8,
+    max_symbols=512,
+)
+
+
+def _outcomes_from_baseline(results) -> list[tuple[int, int, int, bool, bool]]:
+    """Shape ``run_sequential_baseline`` results like ``SoakResult.outcomes``."""
+    return [
+        (r.symbols_sent, r.symbols_sent, r.decode_attempts, r.success, r.payload_correct)
+        for r in results
+    ]
+
+
+def test_serve_soak_batched_vs_sequential_driver(benchmark, reporter):
+    """>= 4x wall-clock vs the one-at-a-time driver, byte-identical log."""
+    smoke = bench_smoke()
+    config = _SMOKE_CONFIG if smoke else _FULL_CONFIG
+    batched_engine = SoakEngine(config)
+    sequential_engine = SoakEngine(replace(config, batching=False))
+
+    def measure():
+        start = time.perf_counter()
+        batched = batched_engine.run()
+        batched_s = time.perf_counter() - start
+        start = time.perf_counter()
+        sequential = sequential_engine.run()
+        sequential_s = time.perf_counter() - start
+        return batched, batched_s, sequential, sequential_s
+
+    batched, batched_s, sequential, sequential_s = benchmark.pedantic(
+        measure, rounds=1, iterations=1
+    )
+
+    # Correctness is asserted at every scale: the two drivers must produce
+    # the same bytes, and both must reproduce the plain per-session loop.
+    assert batched.delivery_log_json() == sequential.delivery_log_json()
+    baseline = _outcomes_from_baseline(run_sequential_baseline(config))
+    assert batched.outcomes() == baseline
+
+    ratio = sequential_s / batched_s
+    reporter.add(
+        f"Serve soak — {config.n_sessions} sessions, in-flight "
+        f"{config.max_in_flight}, {config.snr_db:g} dB",
+        f"batched driver    {batched_s * 1e3:8.1f} ms  "
+        f"({batched.total_symbols / batched_s:,.0f} symbols/s, "
+        f"mean decode batch {batched.mean_batch_sessions:.1f})\n"
+        f"sequential driver {sequential_s * 1e3:8.1f} ms  "
+        f"({sequential.total_symbols / sequential_s:,.0f} symbols/s)\n"
+        f"speedup {ratio:.2f}x"
+        + ("" if smoke else f" (pin >= {_MIN_SOAK_SPEEDUP:.0f}x)"),
+    )
+    if not smoke:
+        assert ratio >= _MIN_SOAK_SPEEDUP, (
+            f"batched soak is only {ratio:.2f}x faster than the sequential "
+            f"driver (pin {_MIN_SOAK_SPEEDUP:.0f}x): "
+            f"{batched_s:.3f}s vs {sequential_s:.3f}s at "
+            f"{config.n_sessions} sessions"
+        )
+
+
+def test_serve_soak_sustained_metrics(benchmark, reporter):
+    """Deterministic throughput floor and p99 ceiling; JSON artifact."""
+    smoke = bench_smoke()
+    config = _SMOKE_CONFIG if smoke else _FULL_CONFIG
+    engine = SoakEngine(config)
+
+    def measure():
+        start = time.perf_counter()
+        result = engine.run()
+        return result, time.perf_counter() - start
+
+    result, elapsed = benchmark.pedantic(measure, rounds=1, iterations=1)
+    summary = result.summary(elapsed_s=elapsed)
+    _SUMMARY_PATH.write_text(json.dumps(summary, indent=2, sort_keys=True) + "\n")
+
+    reporter.add(
+        f"Serve soak sustained metrics — {config.n_sessions} sessions at "
+        f"{config.snr_db:g} dB",
+        "\n".join(f"{key:>20}: {value}" for key, value in summary.items()),
+    )
+
+    # Backpressure and delivery invariants hold at any scale.
+    assert result.peak_in_flight <= config.max_in_flight
+    assert result.delivered_fraction == 1.0, (
+        f"only {result.n_delivered}/{config.n_sessions} sessions delivered"
+    )
+    # The symbol-time metrics are deterministic functions of the config, so
+    # the floor/ceiling pins are meaningful even on noisy CI machines (the
+    # margins absorb tie-break drift across numpy versions).
+    if smoke:
+        assert summary["symbols_per_tick"] >= _MIN_SYMBOLS_PER_TICK, summary
+        assert summary["p99_latency"] <= _MAX_P99_LATENCY, summary
+    assert summary["symbols_per_second"] >= _MIN_SYMBOLS_PER_SECOND, summary

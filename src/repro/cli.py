@@ -25,6 +25,12 @@ registry:
 * ``transport`` — simulate the sliding-window ARQ transport and report
   measured goodput over the protocol grid.
 
+``serve-soak`` drives the async session service (``repro.serve``): N
+concurrent spinal sessions through one event loop with batched decoding and
+bounded-admission backpressure, reporting throughput, latency percentiles
+and queue metrics (``--json`` emits the machine-readable summary the CI
+smoke job archives).
+
 Every command prints a plain-text table (and optionally an ASCII chart), so
 the CLI is usable over ssh on a machine with nothing but this package and
 numpy/scipy installed.  ``--workers/-j N`` fans Monte-Carlo work out over
@@ -219,6 +225,45 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_runner_arguments(transport)
     transport.add_argument("--plot", action="store_true", help="also print an ASCII chart")
+
+    serve = subparsers.add_parser(
+        "serve-soak",
+        help="soak the async session service: N concurrent spinal sessions "
+        "through the batched decode engine",
+    )
+    serve.add_argument("--sessions", type=int, default=256, help="total requests to serve")
+    serve.add_argument(
+        "--in-flight",
+        type=int,
+        default=64,
+        help="backpressure bound: concurrent transmissions holding a symbol buffer",
+    )
+    serve.add_argument(
+        "--arrival-spacing",
+        type=int,
+        default=0,
+        help="request inter-arrival gap in symbol-times (0 = all at tick 0)",
+    )
+    serve.add_argument("--snr", type=float, default=8.0, help="AWGN SNR in dB")
+    serve.add_argument("--payload-bits", type=int, default=16, help="message size in bits")
+    serve.add_argument("--k", type=int, default=4, help="segment size in bits")
+    serve.add_argument("--c", type=int, default=6, help="bits per constellation dimension")
+    serve.add_argument("--beam-width", "-B", type=int, default=8, help="decoder beam width")
+    serve.add_argument(
+        "--max-symbols", type=int, default=512, help="per-session abort budget"
+    )
+    serve.add_argument("--seed", type=int, default=20111114, help="base random seed")
+    serve.add_argument(
+        "--no-batching",
+        action="store_true",
+        help="decode sessions one at a time (the sequential driver the soak "
+        "benchmark compares against)",
+    )
+    serve.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the metrics summary as JSON (the CI artifact format)",
+    )
 
     ldpc = subparsers.add_parser("ldpc", help="achieved rate of one LDPC configuration")
     ldpc.add_argument("snrs", type=float, nargs="+", help="SNR values in dB")
@@ -496,6 +541,36 @@ def _command_transport(args: argparse.Namespace) -> str:
     return output
 
 
+def _command_serve_soak(args: argparse.Namespace) -> str:
+    import json
+    import time
+
+    from repro.serve import SoakConfig, SoakEngine
+
+    config = SoakConfig(
+        n_sessions=args.sessions,
+        max_in_flight=args.in_flight,
+        arrival_spacing=args.arrival_spacing,
+        snr_db=args.snr,
+        seed=args.seed,
+        payload_bits=args.payload_bits,
+        k=args.k,
+        c=args.c,
+        beam_width=args.beam_width,
+        max_symbols=args.max_symbols,
+        batching=not args.no_batching,
+    )
+    engine = SoakEngine(config)
+    start = time.perf_counter()
+    result = engine.run()
+    elapsed = time.perf_counter() - start
+    summary = result.summary(elapsed_s=elapsed)
+    if args.json:
+        return json.dumps(summary, indent=2, sort_keys=True)
+    rows = [(key, summary[key]) for key in summary]
+    return render_table(["metric", "value"], rows)
+
+
 def _command_ldpc(args: argparse.Namespace) -> str:
     outcome = run_experiment(
         registry.get("ldpc-rate"),
@@ -531,6 +606,7 @@ def main(argv: list[str] | None = None) -> str:
         "figure2": _command_figure2,
         "ldpc": _command_ldpc,
         "transport": _command_transport,
+        "serve-soak": _command_serve_soak,
     }
     output = commands[args.command](args)
     print(output)

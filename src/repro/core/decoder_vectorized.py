@@ -714,11 +714,26 @@ class VectorizedBubbleDecoder:
 _MAX_STACK_ELEMENTS = 1 << 16
 
 
-def _session_chunks(members: "list[int]", per_session: int):
+def _session_chunks(members: "list[int]", per_session: int, max_elements: int):
     """Split a same-shape session group into cache-sized chunks."""
-    step = max(1, _MAX_STACK_ELEMENTS // max(per_session, 1))
+    step = max(1, max_elements // max(per_session, 1))
     for start in range(0, len(members), step):
         yield members[start : start + step]
+
+
+def _stack_rows(arrays: "list[np.ndarray]") -> np.ndarray:
+    """``np.stack`` for same-shape 1-D rows, minus its shape introspection.
+
+    The batch kernels stack tens of small per-session rows thousands of
+    times per decode, where ``np.stack``'s per-call bookkeeping (shape
+    set-building, per-array ``expand_dims``) costs more than the copies.
+    A preallocated fill produces the identical array.
+    """
+    first = arrays[0]
+    out = np.empty((len(arrays),) + first.shape, dtype=first.dtype)
+    for j, row in enumerate(arrays):
+        out[j] = row
+    return out
 
 
 class BatchDecoder:
@@ -737,7 +752,10 @@ class BatchDecoder:
     Use :meth:`decode_all` with one observation store per session; results
     are returned in session order and are bit-identical (``message_bits``,
     ``path_cost``, ``beam_trace``, ``candidates_explored``) to running the
-    from-scratch reference on each session separately.
+    from-scratch reference on each session separately.  :meth:`decode_subset`
+    decodes any subset of the registered sessions per call — the serve
+    engine's ragged/late-joining admission path, where the in-flight
+    membership changes tick by tick.
     """
 
     def __init__(
@@ -745,11 +763,16 @@ class BatchDecoder:
         encoders: "list[SpinalEncoder] | tuple[SpinalEncoder, ...]",
         beam_width: int = 16,
         max_unpruned_width: int | None = None,
+        max_stack_elements: int | None = None,
     ) -> None:
         if not encoders:
             raise ValueError("BatchDecoder needs at least one session encoder")
         if beam_width < 1:
             raise ValueError(f"beam_width must be at least 1, got {beam_width}")
+        if max_stack_elements is not None and max_stack_elements < 1:
+            raise ValueError(
+                f"max_stack_elements must be at least 1, got {max_stack_elements}"
+            )
         first = encoders[0].params
         for encoder in encoders:
             if encoder.params.with_(seed=first.seed) != first:
@@ -777,13 +800,21 @@ class BatchDecoder:
         )
         self._bit_mode = first.bit_mode
         self._constellation = None if first.bit_mode else encoders[0].constellation
+        #: Cap on elements per stacked kernel call (see module constant).  A
+        #: per-instance knob so callers — and the serve engine's determinism
+        #: tests — can prove chunking never changes decode outputs.
+        self.max_stack_elements = (
+            _MAX_STACK_ELEMENTS if max_stack_elements is None else int(max_stack_elements)
+        )
 
     @property
     def n_sessions(self) -> int:
         return len(self.encoders)
 
     # ------------------------------------------------------------------
-    def _expand_all(self, states_list: list[np.ndarray]) -> list[np.ndarray]:
+    def _expand_all(
+        self, states_list: list[np.ndarray], key1s: np.ndarray
+    ) -> list[np.ndarray]:
         """Expand every session's beam with grouped broadcast hash calls.
 
         Sessions whose beams are the same width (the common lock-step case)
@@ -791,7 +822,9 @@ class BatchDecoder:
         keyed expansion hash — no materialised repeat/tile index products,
         so the memory traffic is just the output array.  The hash is
         elementwise, so each session's slice equals its single-session
-        expansion bit for bit.
+        expansion bit for bit.  ``key1s`` is aligned with ``states_list``
+        (one expansion key per decoded session, which for a subset decode is
+        a gather of the registered keys).
         """
         flat_list: list[np.ndarray] = [None] * len(states_list)  # type: ignore[list-item]
         groups: dict[int, list[int]] = {}
@@ -799,9 +832,9 @@ class BatchDecoder:
             groups.setdefault(states.size, []).append(session)
         for members in groups.values():
             per_session = states_list[members[0]].size * self._width
-            for chunk in _session_chunks(members, per_session):
-                states = np.stack([states_list[s] for s in chunk])
-                keys = self._key1s[np.asarray(chunk)][:, None, None]
+            for chunk in _session_chunks(members, per_session, self.max_stack_elements):
+                states = _stack_rows([states_list[s] for s in chunk])
+                keys = key1s[np.asarray(chunk)][:, None, None]
                 children = hash_spine_keyed(
                     states[:, :, None], self._all_segments[None, None, :], keys
                 )
@@ -813,6 +846,7 @@ class BatchDecoder:
         self,
         flat_list: list[np.ndarray],
         obs_list: list[tuple[np.ndarray, np.ndarray]],
+        key2s: np.ndarray,
     ) -> list[np.ndarray | None]:
         """Summed branch costs per session from grouped broadcast kernels.
 
@@ -830,11 +864,18 @@ class BatchDecoder:
         for session, (flat, (pass_indices, _values)) in enumerate(
             zip(flat_list, obs_list)
         ):
+            # Sessions with no observations yet at this position (a late
+            # joiner whose first block landed elsewhere, or a degenerate
+            # member with an empty store) contribute no branch costs: they
+            # are left at None here and get an explicit zero-cost branch in
+            # the reduction loop, exactly like the single-session engines.
             if pass_indices.size:
                 groups.setdefault((flat.size, pass_indices.size), []).append(session)
         for (n_cand, n_obs), members in groups.items():
-            for chunk in _session_chunks(members, n_cand * n_obs):
-                self._branch_chunk(chunk, flat_list, obs_list, branches)
+            for chunk in _session_chunks(
+                members, n_cand * n_obs, self.max_stack_elements
+            ):
+                self._branch_chunk(chunk, flat_list, obs_list, branches, key2s)
         return branches
 
     def _branch_chunk(
@@ -843,11 +884,12 @@ class BatchDecoder:
         flat_list: list[np.ndarray],
         obs_list: list[tuple[np.ndarray, np.ndarray]],
         branches: "list[np.ndarray | None]",
+        key2s: np.ndarray,
     ) -> None:
-        cands = np.stack([flat_list[s] for s in members])
-        passes = np.stack([obs_list[s][0] for s in members])
-        received = np.stack([obs_list[s][1] for s in members])
-        keys = self._key2s[np.asarray(members)][:, None, None]
+        cands = _stack_rows([flat_list[s] for s in members])
+        passes = _stack_rows([obs_list[s][0] for s in members])
+        received = _stack_rows([obs_list[s][1] for s in members])
+        keys = key2s[np.asarray(members)][:, None, None]
         words = symbol_word_keyed(cands[:, :, None], passes[:, None, :], keys)
         if self._bit_mode:
             bits = words >> np.uint64(63)
@@ -877,7 +919,48 @@ class BatchDecoder:
                 f"got {len(observations_list)} observation stores for "
                 f"{len(self.encoders)} sessions"
             )
-        n_segments = self.encoders[0].params.n_segments(n_message_bits)
+        return self.decode_subset(
+            n_message_bits, observations_list, range(len(self.encoders))
+        )
+
+    def decode_subset(
+        self,
+        n_message_bits: int,
+        observations_list: "list[ReceivedObservations]",
+        sessions: "list[int] | range",
+    ) -> list[DecodeResult]:
+        """Decode a ragged subset of the registered sessions in one batch.
+
+        ``sessions`` names registered encoder indices; ``observations_list``
+        is aligned with it (one store per listed session).  This is the
+        serve engine's admission path: sessions join and leave the in-flight
+        set tick by tick, so each flush decodes whichever members have a
+        fresh block — without rebuilding the batch for every membership
+        change.  Results come back in ``sessions`` order and are bit-exact
+        with per-session decodes, independent of the subset's composition
+        and of :attr:`max_stack_elements` chunking.
+        """
+        sessions = [int(s) for s in sessions]
+        if len(observations_list) != len(sessions):
+            raise ValueError(
+                f"got {len(observations_list)} observation stores for "
+                f"{len(sessions)} subset sessions"
+            )
+        if len(set(sessions)) != len(sessions):
+            raise ValueError("subset sessions must be distinct")
+        for s in sessions:
+            if not 0 <= s < len(self.encoders):
+                raise IndexError(
+                    f"session index {s} out of range for {len(self.encoders)} "
+                    "registered sessions"
+                )
+        if not sessions:
+            return []
+        encoders = [self.encoders[s] for s in sessions]
+        index = np.asarray(sessions, dtype=np.int64)
+        key1s = self._key1s[index]
+        key2s = self._key2s[index]
+        n_segments = encoders[0].params.n_segments(n_message_bits)
         for observations in observations_list:
             if observations.n_segments != n_segments:
                 raise ValueError(
@@ -885,10 +968,10 @@ class BatchDecoder:
                     f"segments but the message has {n_segments}"
                 )
 
-        n_sessions = len(self.encoders)
+        n_sessions = len(encoders)
         states_list = [
             np.array([e.hash_family.initial_state], dtype=np.uint64)
-            for e in self.encoders
+            for e in encoders
         ]
         costs_list = [np.zeros(1, dtype=np.float64) for _ in range(n_sessions)]
         parent_history: list[list[np.ndarray]] = [[] for _ in range(n_sessions)]
@@ -896,40 +979,93 @@ class BatchDecoder:
         beam_traces: list[list[int]] = [[] for _ in range(n_sessions)]
         explored = [0] * n_sessions
 
+        width = self._width
         for position in range(n_segments):
-            flat_list = self._expand_all(states_list)
+            flat_list = self._expand_all(states_list, key1s)
             obs_list = [
                 observations.for_position(position)
                 for observations in observations_list
             ]
-            branches = self._branch_all(flat_list, obs_list)
+            branches = self._branch_all(flat_list, obs_list, key2s)
+            # Batched pruning: sessions in lock-step (same candidate and
+            # parent counts, same gating) stack into one argpartition /
+            # gather over axis 1.  numpy partitions each row independently
+            # with the same introselect a 1-D call uses, so per-session
+            # results — indices, tie-breaks, costs to the last ulp — are
+            # identical to the per-session spelling this replaces.
+            groups: dict[tuple[int, int, bool], list[int]] = {}
             for session in range(n_sessions):
-                flat_states = flat_list[session]
-                branch = branches[session]
-                costs = costs_list[session]
-                if branch is None:
-                    branch = np.zeros(flat_states.size, dtype=np.float64)
-                child_costs = costs[:, None] + branch.reshape(
-                    costs.size, self._width
-                )
-                flat_costs = child_costs.reshape(-1)
-                explored[session] += flat_costs.size
-                has_observations = obs_list[session][0].size > 0
+                groups.setdefault(
+                    (
+                        flat_list[session].size,
+                        costs_list[session].size,
+                        obs_list[session][0].size > 0,
+                    ),
+                    [],
+                ).append(session)
+            for (n_cand, n_parents, has_observations), members in groups.items():
                 if has_observations:
-                    keep = min(self.beam_width, flat_costs.size)
+                    keep = min(self.beam_width, n_cand)
                 else:
-                    keep = min(self.max_unpruned_width, flat_costs.size)
-                if keep < flat_costs.size:
-                    kept_idx = np.argpartition(flat_costs, keep - 1)[:keep]
-                else:
-                    kept_idx = np.arange(flat_costs.size)
-                states_list[session] = flat_states[kept_idx]
-                costs_list[session] = flat_costs[kept_idx]
-                parent_history[session].append(kept_idx // self._width)
-                segment_history[session].append(
-                    (kept_idx % self._width).astype(np.uint64)
-                )
-                beam_traces[session].append(int(kept_idx.size))
+                    keep = min(self.max_unpruned_width, n_cand)
+                for chunk in _session_chunks(
+                    members, n_cand, self.max_stack_elements
+                ):
+                    n_members = len(chunk)
+                    flat_states = (
+                        flat_list[chunk[0]][None, :]
+                        if n_members == 1
+                        else _stack_rows([flat_list[s] for s in chunk])
+                    )
+                    parent_costs = (
+                        costs_list[chunk[0]][None, :]
+                        if n_members == 1
+                        else _stack_rows([costs_list[s] for s in chunk])
+                    )
+                    if has_observations:
+                        branch = (
+                            branches[chunk[0]][None, :]
+                            if n_members == 1
+                            else _stack_rows([branches[s] for s in chunk])
+                        )
+                    else:
+                        branch = np.zeros((n_members, n_cand), dtype=np.float64)
+                    flat_costs = (
+                        parent_costs[:, :, None]
+                        + branch.reshape(n_members, n_parents, width)
+                    ).reshape(n_members, n_cand)
+                    if keep < n_cand:
+                        kept_idx = np.argpartition(flat_costs, keep - 1, axis=1)[
+                            :, :keep
+                        ]
+                        new_costs = np.take_along_axis(flat_costs, kept_idx, axis=1)
+                        new_states = np.take_along_axis(
+                            flat_states, kept_idx, axis=1
+                        )
+                        kept_parents = kept_idx // width
+                        kept_segments = (kept_idx % width).astype(np.uint64)
+                        for j, session in enumerate(chunk):
+                            explored[session] += n_cand
+                            states_list[session] = new_states[j]
+                            costs_list[session] = new_costs[j]
+                            parent_history[session].append(kept_parents[j])
+                            segment_history[session].append(kept_segments[j])
+                            beam_traces[session].append(keep)
+                    else:
+                        # Nothing is pruned: the kept set is every candidate
+                        # in order, so skip the gather copies entirely and
+                        # share one parent/segment index row across the
+                        # chunk (history rows are read-only).
+                        all_idx = np.arange(n_cand)
+                        kept_parents_row = all_idx // width
+                        kept_segments_row = (all_idx % width).astype(np.uint64)
+                        for j, session in enumerate(chunk):
+                            explored[session] += n_cand
+                            states_list[session] = flat_states[j]
+                            costs_list[session] = flat_costs[j]
+                            parent_history[session].append(kept_parents_row)
+                            segment_history[session].append(kept_segments_row)
+                            beam_traces[session].append(keep)
 
         results: list[DecodeResult] = []
         for session in range(n_sessions):
@@ -940,7 +1076,7 @@ class BatchDecoder:
                 paths[position] = segment_history[session][position][nodes]
                 nodes = parent_history[session][position][nodes]
             best = int(np.argmin(costs))
-            message_bits = self.encoders[session].spine_generator.segments_to_bits(
+            message_bits = encoders[session].spine_generator.segments_to_bits(
                 paths[:, best]
             )
             results.append(

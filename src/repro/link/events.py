@@ -121,6 +121,25 @@ class EventScheduler:
         """Number of live (non-cancelled) events still queued."""
         return len(self._heap) - self._n_cancelled
 
+    def next_time(self) -> int | None:
+        """Tick of the next *live* event, or ``None`` when none is queued.
+
+        Lets a driver peek at where the clock will land before stepping it —
+        the serve engine uses this to sample queue depths tick by tick, and
+        tests use it to assert a loop fully drained.  Cancelled entries at
+        the head of the heap are purged as a side effect (with the same
+        bookkeeping :meth:`_run` would have applied when skipping them), so
+        repeated peeks stay O(1) amortised.
+        """
+        while self._heap:
+            time, _, _, handle, _ = self._heap[0]
+            if handle.cancelled:
+                heapq.heappop(self._heap)
+                self._n_cancelled -= 1
+                continue
+            return time
+        return None
+
     def run(self, max_events: int | None = None) -> int:
         """Process events until the queue drains; return the number processed.
 

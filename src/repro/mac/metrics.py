@@ -138,13 +138,25 @@ class CellResult:
 
     @property
     def mean_latency(self) -> float:
+        """Mean delivered-packet latency in symbol-times.
+
+        Documented sentinel: **0.0 when no packet was delivered** (an empty
+        cell, or a run whose every packet missed its deadline).  The empty
+        case is guarded explicitly so no ``numpy`` mean-of-empty warning can
+        fire — the tier-1 suite runs with warnings as errors.
+        """
         latencies = self.latencies()
         if latencies.size == 0:
             return 0.0
         return float(latencies.mean())
 
     def latency_percentile(self, q: float) -> float:
-        """The ``q``-th percentile of delivered-packet latency (0 if none)."""
+        """The ``q``-th percentile of delivered-packet latency.
+
+        Documented sentinel: **0.0 when no packet was delivered**, guarded
+        before the ``np.percentile`` call (which would raise on an empty
+        array) — same convention as :attr:`mean_latency`.
+        """
         latencies = self.latencies()
         if latencies.size == 0:
             return 0.0

@@ -129,6 +129,13 @@ class ProportionalFairScheduler(Scheduler):
     def __init__(self, half_life: int = 2048, floor: float = 1e-9) -> None:
         if half_life < 1:
             raise ValueError(f"half_life must be at least 1, got {half_life}")
+        # The floor is what keeps the PF metric finite at a user's *first*
+        # grant, when their decayed average is exactly zero: the metric
+        # becomes ``instantaneous / floor`` (unserved users get near-absolute
+        # priority), not a division by zero.  A zero or negative floor would
+        # reintroduce the ZeroDivisionError, so reject it up front.
+        if not floor > 0.0:
+            raise ValueError(f"floor must be strictly positive, got {floor}")
         self.half_life = int(half_life)
         self.floor = float(floor)
         self._average: dict[int, float] = {}
@@ -148,7 +155,15 @@ class ProportionalFairScheduler(Scheduler):
             snr_linear = 10.0 ** (view.csi_db / 10.0)
             instantaneous = math.log2(1.0 + snr_linear)
             metric = instantaneous / max(self._decayed_average(view.user, now), self.floor)
-            if metric > best_metric:
+            # A NaN CSI report (a tracing gap, a corrupt trace sample) makes
+            # the metric NaN, and NaN compares false against everything — a
+            # pick over all-NaN views would return no user at all.  Treat
+            # NaN as "worst possible" so such a user is never *preferred*,
+            # while the ``best is None`` arm still guarantees a valid grant
+            # (the lowest-index user, matching the library's tie-break rule).
+            if math.isnan(metric):
+                metric = float("-inf")
+            if best is None or metric > best_metric:
                 best, best_metric = view, metric
         return best.user
 

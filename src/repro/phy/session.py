@@ -123,18 +123,59 @@ class CodecTransmission:
         self.symbols_sent += block.n_symbols
         return block, received
 
-    def deliver(self, block, received_values: np.ndarray) -> bool:
-        """Feed one received block to the decoder; return True once decoded."""
+    @property
+    def attempt_ready(self) -> bool:
+        """Whether the PR-1 decode gate is open (enough symbols delivered)."""
+        return self.symbols_delivered >= self._min_attempt
+
+    def deliver(
+        self, block, received_values: np.ndarray, attempt: bool | None = None
+    ) -> bool:
+        """Feed one received block to the decoder; return True once decoded.
+
+        ``attempt=None`` (the default) applies the decode gate: attempt once
+        the delivered symbols reach ``min_symbols_to_attempt()``, but never
+        for an *empty* block — a block carrying zero symbols adds nothing to
+        the observation set, so attempting on it would double-count decode
+        attempts (and decoder work) against unchanged observations.
+        ``attempt=False`` absorbs the block without decoding — the
+        non-blocking step used by the serve engine, which batches the decode
+        across many sessions and feeds the result back through
+        :meth:`record_status`.  ``attempt=True`` forces a decode.
+        """
         if self.decoded:
             return True
-        attempt = self.symbols_delivered + block.n_symbols >= self._min_attempt
+        if attempt is None:
+            attempt = (
+                block.n_symbols > 0
+                and self.symbols_delivered + block.n_symbols >= self._min_attempt
+            )
         status = self.decoder.absorb(block, received_values, attempt=attempt)
         self.symbols_delivered += block.n_symbols
         self._record(status)
         return self.decoded
 
+    def record_status(self, status: DecodeStatus) -> bool:
+        """Account one externally computed decode attempt; True once decoded.
+
+        The serve engine's batched decode stage computes one
+        :class:`~repro.phy.protocol.DecodeStatus` per session outside the
+        transmission (via :class:`~repro.core.decoder_vectorized.BatchDecoder`
+        over the sessions' observation stores) and feeds it back here, so
+        attempt/work accounting and termination go through exactly the same
+        bookkeeping as a decode made by :meth:`deliver`.
+        """
+        if not self.decoded:
+            self._record(status)
+        return self.decoded
+
     def best_effort_decode(self) -> None:
-        """Force one decode so a failed packet still reports a best guess."""
+        """Force one decode so a failed packet still reports a best guess.
+
+        Idempotent: once *any* decode attempt has been recorded (including a
+        previous best-effort), this is a no-op — calling it again after
+        budget exhaustion never double-counts attempts or decoder work.
+        """
         if self.last_status is None:
             self._record(self.decoder.decode_now())
 

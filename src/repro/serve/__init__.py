@@ -1,0 +1,26 @@
+"""Serving at scale: the deterministic high-concurrency soak engine.
+
+See :mod:`repro.serve.engine` for the architecture — one event loop
+multiplexing thousands of in-flight :class:`~repro.phy.session.CodecSession`
+transmissions, a per-tick batched decode stage over
+:class:`~repro.core.decoder_vectorized.BatchDecoder`, preallocated symbol
+buffers, and bounded-admission backpressure.
+"""
+
+from repro.serve.engine import (
+    SessionDelivery,
+    SoakConfig,
+    SoakEngine,
+    SoakResult,
+    run_sequential_baseline,
+    run_soak,
+)
+
+__all__ = [
+    "SessionDelivery",
+    "SoakConfig",
+    "SoakEngine",
+    "SoakResult",
+    "run_sequential_baseline",
+    "run_soak",
+]

@@ -285,3 +285,42 @@ class TestReportCsv:
         assert "users in the cell" in output
         csv_text = main(["report", run_file, "--csv"])
         assert csv_text.splitlines()[0].startswith("users,scheduler,")
+
+
+class TestServeSoakCommand:
+    def test_table_reports_the_soak_metrics(self):
+        output = main(
+            ["serve-soak", "--sessions", "12", "--in-flight", "4"]
+        )
+        for metric in ("symbols_per_tick", "p99_latency", "peak_in_flight"):
+            assert metric in output
+
+    def test_json_summary_is_machine_readable(self):
+        import json as _json
+
+        output = main(
+            ["serve-soak", "--sessions", "8", "--in-flight", "4", "--json"]
+        )
+        summary = _json.loads(output)
+        assert summary["n_sessions"] == 8
+        assert summary["peak_in_flight"] <= 4
+        assert summary["delivered"] == 8
+        assert summary["elapsed_s"] > 0
+
+    def test_no_batching_selects_the_sequential_driver(self):
+        import json as _json
+
+        batched = _json.loads(
+            main(["serve-soak", "--sessions", "8", "--in-flight", "4", "--json"])
+        )
+        sequential = _json.loads(
+            main(
+                ["serve-soak", "--sessions", "8", "--in-flight", "4",
+                 "--no-batching", "--json"]
+            )
+        )
+        assert batched["max_batch_sessions"] > 1
+        assert sequential["max_batch_sessions"] == 1
+        # Same outcomes either way (the determinism contract).
+        for key in ("delivered", "total_symbols", "makespan", "p99_latency"):
+            assert batched[key] == sequential[key]

@@ -240,3 +240,105 @@ class TestMatrixKernel:
             assert metrics["n_packets"] > 0
             assert 0.0 <= metrics["delivered_fraction"] <= 1.0
             assert metrics["symbols_sent"] > 0
+
+
+class TestSessionSeamEdgeCases:
+    """PR-7 bugfix sweep: zero-symbol deliveries and exhausted accounting."""
+
+    def _spinal(self, snr_db=SNR_DB, max_symbols=4096):
+        return make_codec_session(
+            "spinal", snr_db=snr_db, seed=SEED, smoke=True, max_symbols=max_symbols
+        )
+
+    def _empty_block(self):
+        from repro.core.encoder import SubpassBlock
+
+        return SubpassBlock(
+            subpass_index=0,
+            positions=np.array([], dtype=np.int64),
+            pass_indices=np.array([], dtype=np.int64),
+            values=np.array([], dtype=np.complex128),
+        )
+
+    def test_empty_block_never_triggers_an_attempt(self):
+        """A zero-symbol delivery must not count a decode attempt — before
+        the gate (nothing to decode) nor after it (the observations did not
+        change, so an attempt would double-count work)."""
+        session = self._spinal()
+        tx = session.open_transmission(
+            _payload(session, "empty-block"), spawn_rng(SEED, "empty-block")
+        )
+        nothing = np.array([], dtype=np.complex128)
+        assert not tx.deliver(self._empty_block(), nothing)
+        assert tx.decode_attempts == 0
+        assert tx.symbols_delivered == 0
+        # Open the gate without decoding, then deliver another empty block.
+        while not tx.attempt_ready:
+            block, received = tx.send_next_block()
+            tx.deliver(block, received, attempt=False)
+        assert tx.deliver(self._empty_block(), nothing) == tx.decoded
+        assert tx.decode_attempts == 0
+        # A real block past the open gate does attempt.
+        block, received = tx.send_next_block()
+        tx.deliver(block, received)
+        assert tx.decode_attempts == 1
+
+    def test_attempt_ready_tracks_the_gate(self):
+        session = self._spinal()
+        tx = session.open_transmission(
+            _payload(session, "gate-prop"), spawn_rng(SEED, "gate-prop")
+        )
+        gate = session.code.min_symbols_to_attempt()
+        while tx.symbols_delivered < gate:
+            assert tx.attempt_ready == (tx.symbols_delivered >= gate)
+            block, received = tx.send_next_block()
+            tx.deliver(block, received, attempt=False)
+        assert tx.attempt_ready
+
+    def test_best_effort_after_exhaustion_is_idempotent(self):
+        """Repeated best-effort decodes never double-count attempts/work."""
+        session = self._spinal(snr_db=-25.0, max_symbols=8)
+        tx = session.open_transmission(
+            _payload(session, "exhaust"), spawn_rng(SEED, "exhaust")
+        )
+        while not tx.decoded and not tx.exhausted:
+            block, received = tx.send_next_block()
+            tx.deliver(block, received)
+        assert tx.exhausted and not tx.decoded
+        tx.best_effort_decode()
+        attempts, work = tx.decode_attempts, tx.work
+        assert attempts >= 1
+        tx.best_effort_decode()
+        tx.best_effort_decode()
+        assert (tx.decode_attempts, tx.work) == (attempts, work)
+        tx.decoded_payload()  # must not raise after a best-effort
+
+    def test_best_effort_records_exactly_one_attempt_when_none_made(self):
+        """An exhausted absorb-only transmission gets exactly one forced
+        attempt, however many times the caller asks."""
+        session = self._spinal(snr_db=-25.0, max_symbols=8)
+        tx = session.open_transmission(
+            _payload(session, "exhaust-absorb"), spawn_rng(SEED, "exhaust-absorb")
+        )
+        while not tx.exhausted:
+            block, received = tx.send_next_block()
+            tx.deliver(block, received, attempt=False)
+        assert tx.decode_attempts == 0
+        tx.best_effort_decode()
+        assert tx.decode_attempts == 1
+        work = tx.work
+        tx.best_effort_decode()
+        assert (tx.decode_attempts, tx.work) == (1, work)
+
+    def test_record_status_after_decode_never_recounts(self):
+        session = self._spinal()
+        tx = session.open_transmission(
+            _payload(session, "recount"), spawn_rng(SEED, "recount")
+        )
+        while not tx.decoded and not tx.exhausted:
+            block, received = tx.send_next_block()
+            tx.deliver(block, received)
+        assert tx.decoded, "battery needs a decodable trace; raise the SNR"
+        attempts, work = tx.decode_attempts, tx.work
+        assert tx.record_status(tx.last_status)
+        assert (tx.decode_attempts, tx.work) == (attempts, work)

@@ -376,3 +376,58 @@ class TestBatchDecoder:
             batch.decode_all(12, stores[:1])
         with pytest.raises(ValueError, match="segments"):
             batch.decode_all(12, [stores[0], ReceivedObservations(7)])
+
+    def test_decode_subset_matches_decode_all(self):
+        """A ragged subset decode equals the same sessions' full-batch rows."""
+        encoders, stores = self._sessions(5)
+        batch = BatchDecoder(encoders, beam_width=4)
+        full = batch.decode_all(12, stores)
+        subset = batch.decode_subset(12, [stores[3], stores[1]], [3, 1])
+        _assert_identical(subset[0], full[3])
+        _assert_identical(subset[1], full[1])
+        assert subset[0].candidates_explored == full[3].candidates_explored
+        assert subset[1].candidates_explored == full[1].candidates_explored
+
+    def test_decode_subset_chunking_invariance(self):
+        """max_stack_elements=1 (every chunk degenerate) changes nothing."""
+        encoders, stores = self._sessions(6)
+        default = BatchDecoder(encoders, beam_width=4).decode_subset(
+            12, stores, range(6)
+        )
+        tiny = BatchDecoder(
+            encoders, beam_width=4, max_stack_elements=1
+        ).decode_subset(12, stores, range(6))
+        for a, b in zip(default, tiny):
+            _assert_identical(a, b)
+            assert a.candidates_explored == b.candidates_explored
+
+    def test_empty_store_member_is_degenerate_but_exact(self):
+        """A member with no observations (late joiner) stays bit-exact."""
+        encoders, stores = self._sessions(3)
+        stores[1] = ReceivedObservations(4)
+        results = BatchDecoder(encoders, beam_width=4).decode_all(12, stores)
+        for encoder, observations, result in zip(encoders, stores, results):
+            reference = BubbleDecoder(encoder, beam_width=4).decode(12, observations)
+            _assert_identical(result, reference)
+
+    def test_all_empty_stores(self):
+        """Every member degenerate: zero-cost branches, no kernel crash."""
+        encoders, _ = self._sessions(3)
+        stores = [ReceivedObservations(4) for _ in range(3)]
+        results = BatchDecoder(encoders, beam_width=4).decode_all(12, stores)
+        for encoder, observations, result in zip(encoders, stores, results):
+            reference = BubbleDecoder(encoder, beam_width=4).decode(12, observations)
+            _assert_identical(result, reference)
+
+    def test_decode_subset_validation(self):
+        encoders, stores = self._sessions(3)
+        batch = BatchDecoder(encoders, beam_width=4)
+        assert batch.decode_subset(12, [], []) == []
+        with pytest.raises(ValueError, match="distinct"):
+            batch.decode_subset(12, [stores[0], stores[1]], [1, 1])
+        with pytest.raises(IndexError, match="out of range"):
+            batch.decode_subset(12, [stores[0]], [7])
+        with pytest.raises(ValueError, match="observation stores"):
+            batch.decode_subset(12, stores, [0, 1])
+        with pytest.raises(ValueError, match="max_stack_elements"):
+            BatchDecoder(encoders, beam_width=4, max_stack_elements=0)

@@ -156,3 +156,28 @@ class TestRunUntil:
             stepped.run_until(boundary)
         stepped.run()
         assert stepped_log == straight_log
+
+
+class TestNextTime:
+    def test_empty_scheduler_has_no_next_time(self):
+        assert EventScheduler().next_time() is None
+
+    def test_peeks_the_earliest_live_event(self):
+        clock = EventScheduler()
+        clock.schedule(9, PRIORITY_SEND, lambda: None)
+        clock.schedule(5, PRIORITY_BLOCK, lambda: None)
+        assert clock.next_time() == 5
+        assert clock.pending == 2  # peeking consumes nothing live
+
+    def test_skips_cancelled_heads_with_correct_bookkeeping(self):
+        clock = EventScheduler()
+        first = clock.schedule(3, PRIORITY_SEND, lambda: None)
+        second = clock.schedule(4, PRIORITY_SEND, lambda: None)
+        clock.schedule(8, PRIORITY_SEND, lambda: None)
+        first.cancel()
+        second.cancel()
+        assert clock.next_time() == 8
+        # The cancelled heads were purged, and pending stayed consistent.
+        assert clock.pending == 1
+        assert clock.run() == 1
+        assert clock.next_time() is None

@@ -21,7 +21,14 @@ import pytest
 
 README = Path(__file__).parent.parent / "README.md"
 
-PUBLIC_PACKAGES = ("repro", "repro.phy", "repro.core", "repro.link", "repro.mac")
+PUBLIC_PACKAGES = (
+    "repro",
+    "repro.phy",
+    "repro.core",
+    "repro.link",
+    "repro.mac",
+    "repro.serve",
+)
 
 
 @pytest.mark.parametrize("package", PUBLIC_PACKAGES)

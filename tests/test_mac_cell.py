@@ -481,3 +481,57 @@ class TestCalibrationMemo:
         )
         assert len(outcome.successful_cells()) == 3
         assert len(calls) == 1  # one calibration serves every adaptive cell
+
+
+class TestEmptyCellMetrics:
+    """PR-7 bugfix sweep: latency metrics of cells that delivered nothing.
+
+    Both metrics document a 0.0 sentinel when no packet was delivered, and
+    the empty guard must hold even with warnings escalated to errors (a bare
+    ``np.mean``/``np.percentile`` of an empty array warns or raises).
+    """
+
+    def _empty_result(self):
+        from repro.mac.metrics import CellResult
+
+        return CellResult(scheduler="round-robin", n_users=2, packets=(), makespan=0)
+
+    def _undelivered_result(self):
+        from repro.mac.metrics import CellResult, PacketOutcome
+
+        packet = PacketOutcome(
+            user=0,
+            index=0,
+            arrival=0,
+            completed=40,
+            delivered=False,
+            symbols_sent=40,
+            symbols_needed=0,
+            payload_bits=16,
+        )
+        return CellResult(
+            scheduler="round-robin", n_users=1, packets=(packet,), makespan=40
+        )
+
+    def test_empty_cell_metrics_are_defined(self):
+        import warnings
+
+        result = self._empty_result()
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert result.mean_latency == 0.0
+            assert result.latency_percentile(99.0) == 0.0
+        assert result.aggregate_goodput == 0.0
+        assert result.delivered_fraction == 1.0
+        assert result.jain_fairness == 1.0
+
+    def test_all_undelivered_metrics_are_defined(self):
+        import warnings
+
+        result = self._undelivered_result()
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert result.mean_latency == 0.0
+            assert result.latency_percentile(50.0) == 0.0
+        assert result.delivered_fraction == 0.0
+        assert result.aggregate_goodput == 0.0

@@ -176,3 +176,29 @@ class TestOpportunisticGain:
         pinned = self._throughput("max-snr")
         unpinned = result.delivered_bits / self.HORIZON
         assert pinned > unpinned
+
+
+class TestProportionalFairEdgeCases:
+    """PR-7 bugfix sweep: the first-grant metric and degenerate CSI."""
+
+    def test_rejects_non_positive_floor(self):
+        with pytest.raises(ValueError, match="floor"):
+            ProportionalFairScheduler(floor=0.0)
+        with pytest.raises(ValueError, match="floor"):
+            ProportionalFairScheduler(floor=-1e-9)
+
+    def test_first_grant_is_well_defined(self):
+        """No history at all (every average zero) must not divide by zero."""
+        scheduler = ProportionalFairScheduler()
+        assert scheduler.pick(0, [_view(0, 10.0), _view(1, 20.0)]) == 1
+
+    def test_nan_csi_user_is_never_preferred(self):
+        scheduler = ProportionalFairScheduler()
+        assert scheduler.pick(0, [_view(0, float("nan")), _view(1, -10.0)]) == 1
+        assert scheduler.pick(0, [_view(3, -10.0), _view(7, float("nan"))]) == 3
+
+    def test_all_nan_csi_still_grants_someone(self):
+        """All-NaN views fall back to the lowest-index user, not a crash."""
+        scheduler = ProportionalFairScheduler()
+        views = [_view(4, float("nan")), _view(9, float("nan"))]
+        assert scheduler.pick(0, views) == 4
