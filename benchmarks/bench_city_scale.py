@@ -1,0 +1,134 @@
+"""City-scale network benchmarks: the flow fast path vs the bit-exact tier.
+
+Two acceptance claims of the multi-cell simulator PR are pinned here:
+
+* at **1000 users** the calibrated flow tier simulates **>= 20x more
+  users per second** of event-loop time than the bit-exact tier — same
+  city, same MAC/mobility/handoff machinery, only the PHY under each
+  grant replaced by a draw from the calibrated symbols-to-decode model
+  (built once up front; calibration is a reusable artifact, not part of
+  the per-simulation cost either tier pays);
+* the speed is *within the calibrated error bound*: the flow tier's
+  aggregate goodput stays within ``_MAX_RELATIVE_ERROR`` of the
+  bit-exact tier's on the identical configuration, at every scale.
+
+Smoke mode (``REPRO_BENCH_SMOKE=1``) shrinks the city and skips the
+wall-clock ratio pin — CI machines are too noisy for timing ratios; the
+calibration-fidelity and determinism claims are asserted at every scale.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+from _bench_utils import bench_smoke
+
+from repro.net import CellNetwork, NetworkConfig, default_symbol_model
+
+_SEED = 20111114
+#: Full-mode acceptance: flow vs bit-exact users-simulated-per-second at 1k users.
+_MIN_FLOW_SPEEDUP = 20.0
+#: Calibration fidelity: relative aggregate-goodput error between the tiers.
+_MAX_RELATIVE_ERROR = 0.15
+_MAX_RELATIVE_ERROR_SMOKE = 0.35  # fewer packets, noisier ratio
+
+#: The workload the >= 20x pin is taken at: a 9-cell city, walking users,
+#: interference on, both tiers driven by the same walks and seed.
+_FULL_USERS = 1000
+_SMOKE_USERS = 64
+
+
+def _city_config(n_users: int, tier: str) -> NetworkConfig:
+    return NetworkConfig(
+        n_cells=9,
+        n_users=n_users,
+        packets_per_user=2,
+        scheduler="round-robin",
+        code="spinal",
+        tier=tier,
+        seed=_SEED,
+        max_symbols=512,
+        cell_radius=150.0,
+        reference_snr_db=18.0,
+        epoch_symbols=128,
+        mobility_step=60.0,
+        calibration_samples=32,
+    )
+
+
+def test_city_flow_fast_path_vs_bit_exact(benchmark, reporter):
+    """>= 20x users/second at 1k users, within the calibrated error bound."""
+    smoke = bench_smoke()
+    n_users = _SMOKE_USERS if smoke else _FULL_USERS
+    exact_config = _city_config(n_users, "exact")
+    flow_config = _city_config(n_users, "flow")
+    # The symbol-count model is a calibration artifact measured off the
+    # bit-exact codec once and reused by every flow simulation; build it
+    # outside the timed region for both its producer and its consumers.
+    model = default_symbol_model(flow_config)
+
+    def measure():
+        exact_net = CellNetwork(exact_config)
+        start = time.perf_counter()
+        exact_result = exact_net.run()
+        exact_s = time.perf_counter() - start
+        flow_net = CellNetwork(flow_config, model=model)
+        start = time.perf_counter()
+        flow_result = flow_net.run()
+        flow_s = time.perf_counter() - start
+        return exact_result, exact_s, flow_result, flow_s
+
+    exact_result, exact_s, flow_result, flow_s = benchmark.pedantic(
+        measure, rounds=1, iterations=1
+    )
+
+    relative_error = abs(
+        flow_result.aggregate_goodput - exact_result.aggregate_goodput
+    ) / exact_result.aggregate_goodput
+    ratio = (n_users / flow_s) / (n_users / exact_s)
+    reporter.add(
+        f"City scale — {n_users} users, 9 cells, flow fast path vs bit-exact",
+        f"bit-exact tier {exact_s * 1e3:9.1f} ms  "
+        f"({n_users / exact_s:,.0f} users/s, goodput "
+        f"{exact_result.aggregate_goodput:.3f}, {exact_result.n_handoffs} handoffs)\n"
+        f"flow tier      {flow_s * 1e3:9.1f} ms  "
+        f"({n_users / flow_s:,.0f} users/s, goodput "
+        f"{flow_result.aggregate_goodput:.3f}, {flow_result.n_handoffs} handoffs)\n"
+        f"speedup {ratio:.1f}x"
+        + ("" if smoke else f" (pin >= {_MIN_FLOW_SPEEDUP:.0f}x)")
+        + f", relative goodput error {relative_error:.3f}",
+    )
+
+    # Calibration fidelity is asserted at every scale.
+    bound = _MAX_RELATIVE_ERROR_SMOKE if smoke else _MAX_RELATIVE_ERROR
+    assert relative_error <= bound, (
+        f"flow tier goodput {flow_result.aggregate_goodput:.3f} deviates "
+        f"{relative_error:.3f} from bit-exact "
+        f"{exact_result.aggregate_goodput:.3f} (bound {bound})"
+    )
+    # Both tiers ride the same walks: the mobility regime must agree.
+    assert flow_result.makespan > 0 and exact_result.makespan > 0
+    if not smoke:
+        assert ratio >= _MIN_FLOW_SPEEDUP, (
+            f"flow tier is only {ratio:.1f}x faster than bit-exact "
+            f"(pin {_MIN_FLOW_SPEEDUP:.0f}x): {flow_s:.3f}s vs {exact_s:.3f}s "
+            f"at {n_users} users"
+        )
+
+
+def test_city_flow_tier_deterministic(benchmark, reporter):
+    """The flow tier is a pure function of its config (byte-identical reruns)."""
+    config = _city_config(_SMOKE_USERS, "flow")
+    model = default_symbol_model(config)
+
+    def measure():
+        return CellNetwork(config, model=model).run().summary()
+
+    first = benchmark.pedantic(measure, rounds=1, iterations=1)
+    second = CellNetwork(config, model=model).run().summary()
+    assert json.dumps(first, sort_keys=True) == json.dumps(second, sort_keys=True)
+    reporter.add(
+        f"City scale — flow tier determinism at {_SMOKE_USERS} users",
+        "\n".join(f"{key:>28}: {value}" for key, value in first.items()),
+    )

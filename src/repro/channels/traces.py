@@ -45,15 +45,31 @@ def random_walk_trace(
     steps = rng.normal(0.0, step_db, size=length)
     trace = np.empty(length)
     current = float(np.clip(start_snr_db, min_snr_db, max_snr_db))
-    for i, step in enumerate(steps):
-        current += step
-        # Reflect at the boundaries to keep the walk inside the range.
-        if current > max_snr_db:
-            current = 2 * max_snr_db - current
-        if current < min_snr_db:
-            current = 2 * min_snr_db - current
-        current = float(np.clip(current, min_snr_db, max_snr_db))
-        trace[i] = current
+    # Vectorized between boundary hits: a prefix-sum from ``current`` adds the
+    # steps in exactly the order (and float associativity) of the one-at-a-time
+    # walk, so every in-range segment is bit-identical to the scalar loop; the
+    # rare reflecting step is replayed scalar and the sweep resumes after it.
+    i = 0
+    while i < length:
+        path = np.cumsum(np.concatenate(((current,), steps[i:])))[1:]
+        outside = (path > max_snr_db) | (path < min_snr_db)
+        hit = int(np.argmax(outside))
+        if not outside[hit]:
+            trace[i:] = path
+            break
+        if hit > 0:
+            trace[i : i + hit] = path[:hit]
+        # The reflecting step, exactly as the scalar loop computes it (both
+        # reflections may apply for a step larger than the whole range).
+        value = float(path[hit])
+        if value > max_snr_db:
+            value = 2 * max_snr_db - value
+        if value < min_snr_db:
+            value = 2 * min_snr_db - value
+        value = float(np.clip(value, min_snr_db, max_snr_db))
+        trace[i + hit] = value
+        current = value
+        i += hit + 1
     return trace
 
 
@@ -71,14 +87,24 @@ def gilbert_elliott_trace(
     for name, p in (("p_good_to_bad", p_good_to_bad), ("p_bad_to_good", p_bad_to_good)):
         if not 0.0 <= p <= 1.0:
             raise ValueError(f"{name} must be a probability, got {p}")
+    # The scalar loop draws exactly one uniform per symbol (the two branch
+    # draws are mutually exclusive), so one bulk draw consumes the identical
+    # RNG stream; the trace is then filled run by run — each state persists
+    # until its first sub-threshold draw, which takes effect the *next* symbol.
+    draws = rng.random(length)
     trace = np.empty(length)
     in_good_state = True
-    for i in range(length):
-        trace[i] = good_snr_db if in_good_state else bad_snr_db
-        if in_good_state and rng.random() < p_good_to_bad:
-            in_good_state = False
-        elif not in_good_state and rng.random() < p_bad_to_good:
-            in_good_state = True
+    i = 0
+    while i < length:
+        p = p_good_to_bad if in_good_state else p_bad_to_good
+        flips = draws[i:] < p
+        hit = int(np.argmax(flips))
+        if not flips[hit]:
+            trace[i:] = good_snr_db if in_good_state else bad_snr_db
+            break
+        trace[i : i + hit + 1] = good_snr_db if in_good_state else bad_snr_db
+        in_good_state = not in_good_state
+        i += hit + 1
     return trace
 
 

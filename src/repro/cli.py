@@ -31,6 +31,12 @@ bounded-admission backpressure, reporting throughput, latency percentiles
 and queue metrics (``--json`` emits the machine-readable summary the CI
 smoke job archives).
 
+``city-soak`` drives the multi-cell network simulator (``repro.net``): a
+grid of SINR-coupled cells with mobile users, hysteresis handoff and a
+choice of fidelity tier (bit-exact PHY or the calibrated flow fast path),
+optionally fanning seed-independent replicas across worker processes
+(``--json`` emits the machine-readable summary the CI smoke job archives).
+
 Every command prints a plain-text table (and optionally an ASCII chart), so
 the CLI is usable over ssh on a machine with nothing but this package and
 numpy/scipy installed.  ``--workers/-j N`` fans Monte-Carlo work out over
@@ -260,6 +266,68 @@ def build_parser() -> argparse.ArgumentParser:
         "benchmark compares against)",
     )
     serve.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the metrics summary as JSON (the CI artifact format)",
+    )
+
+    city = subparsers.add_parser(
+        "city-soak",
+        help="soak the city-scale network simulator: SINR-coupled cells, "
+        "mobility, handoff, replicas across workers",
+    )
+    city.add_argument("--cells", type=int, default=4, help="base stations in the grid")
+    city.add_argument("--users", type=int, default=16, help="mobile users in the city")
+    city.add_argument(
+        "--packets-per-user", type=int, default=2, help="backlogged packets per user"
+    )
+    city.add_argument(
+        "--scheduler",
+        type=str,
+        default="round-robin",
+        help="MAC discipline in every cell (round-robin, max-snr, proportional-fair)",
+    )
+    city.add_argument(
+        "--code", type=str, default="spinal", help="code family for every uplink"
+    )
+    city.add_argument(
+        "--tier",
+        type=str,
+        default="flow",
+        choices=("exact", "flow"),
+        help="fidelity tier: bit-exact PHY or calibrated flow fast path",
+    )
+    city.add_argument(
+        "--max-symbols", type=int, default=512, help="per-packet abort budget"
+    )
+    city.add_argument(
+        "--cell-radius", type=float, default=150.0, help="cell radius in meters"
+    )
+    city.add_argument(
+        "--reference-snr",
+        type=float,
+        default=18.0,
+        help="SNR in dB at the reference distance from a tower",
+    )
+    city.add_argument(
+        "--epoch-symbols",
+        type=int,
+        default=128,
+        help="mobility epoch length in symbol-times (0 = static users)",
+    )
+    city.add_argument(
+        "--no-interference",
+        action="store_true",
+        help="ignore other-cell transmit activity (pure path-loss SNR)",
+    )
+    city.add_argument(
+        "--replicas", type=int, default=1, help="seed-independent replicas of the city"
+    )
+    city.add_argument(
+        "--workers", "-j", type=int, default=1, help="worker processes for replicas"
+    )
+    city.add_argument("--seed", type=int, default=20111114, help="base random seed")
+    city.add_argument(
         "--json",
         action="store_true",
         help="emit the metrics summary as JSON (the CI artifact format)",
@@ -571,6 +639,52 @@ def _command_serve_soak(args: argparse.Namespace) -> str:
     return render_table(["metric", "value"], rows)
 
 
+def _command_city_soak(args: argparse.Namespace) -> str:
+    import json
+    import time
+
+    from repro.net import NetworkConfig, simulate_network_replicas
+
+    config = NetworkConfig(
+        n_cells=args.cells,
+        n_users=args.users,
+        packets_per_user=args.packets_per_user,
+        scheduler=args.scheduler,
+        code=args.code,
+        tier=args.tier,
+        seed=args.seed,
+        max_symbols=args.max_symbols,
+        cell_radius=args.cell_radius,
+        reference_snr_db=args.reference_snr,
+        epoch_symbols=args.epoch_symbols,
+        interference=not args.no_interference,
+    )
+    start = time.perf_counter()
+    replicas = simulate_network_replicas(config, args.replicas, n_workers=args.workers)
+    elapsed = time.perf_counter() - start
+    numeric = [
+        key
+        for key in replicas[0]
+        if isinstance(replicas[0][key], (int, float)) and not isinstance(replicas[0][key], bool)
+    ]
+    aggregate: dict = {
+        "scheduler": config.scheduler,
+        "code": config.code,
+        "tier": config.tier,
+        "n_replicas": len(replicas),
+        "elapsed_s": elapsed,
+        "users_per_second": len(replicas) * config.n_users / elapsed if elapsed else 0.0,
+    }
+    for key in numeric:
+        aggregate[f"mean_{key}"] = sum(replica[key] for replica in replicas) / len(replicas)
+    if args.json:
+        return json.dumps(
+            {"aggregate": aggregate, "replicas": replicas}, indent=2, sort_keys=True
+        )
+    rows = [(key, aggregate[key]) for key in aggregate]
+    return render_table(["metric", "value"], rows)
+
+
 def _command_ldpc(args: argparse.Namespace) -> str:
     outcome = run_experiment(
         registry.get("ldpc-rate"),
@@ -607,6 +721,7 @@ def main(argv: list[str] | None = None) -> str:
         "ldpc": _command_ldpc,
         "transport": _command_transport,
         "serve-soak": _command_serve_soak,
+        "city-soak": _command_city_soak,
     }
     output = commands[args.command](args)
     print(output)

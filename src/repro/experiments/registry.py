@@ -88,6 +88,7 @@ EXPERIMENT_MODULES = (
     "repro.experiments.cell_scaling",
     "repro.experiments.cell_rateless_vs_adaptive",
     "repro.experiments.code_family_matrix",
+    "repro.experiments.city_scaling",
 )
 
 _REGISTRY: dict[str, "Experiment"] = {}

@@ -99,6 +99,11 @@ class EventScheduler:
         self._counter = 0
         self._n_cancelled = 0
         self.now = 0
+        #: Index of the event currently (or most recently) executing.  Any
+        #: simulation state change happens inside some event, so ``(now,
+        #: n_processed)`` is a sound memo key for state that is fixed while
+        #: one action runs (e.g. the network's interference cache).
+        self.n_processed = 0
 
     def schedule(
         self, time: int, priority: int, action: Callable[[], None]
@@ -176,6 +181,7 @@ class EventScheduler:
             if not handle._fire():
                 continue  # cancelled: skip without advancing the clock
             self.now = time
+            self.n_processed += 1
             action()
             processed += 1
             if max_events is not None and processed > max_events:

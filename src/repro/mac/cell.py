@@ -186,7 +186,11 @@ class CellUser:
 
     ``arrivals`` optionally gives each packet's arrival time (symbol-times;
     default: all backlogged at 0).  ``deadline`` optionally drops packets
-    not delivered within that many symbol-times of arrival.
+    not delivered within that many symbol-times of arrival.  ``uid``
+    optionally assigns the user a stable identity distinct from its position
+    in the cell's user list — the multi-cell network layer uses this so a
+    user keeps its scheduler-visible index and per-packet RNG streams across
+    handoffs; standalone cells leave it ``None`` (identity = position).
     """
 
     link: Link
@@ -194,6 +198,7 @@ class CellUser:
     csi: Callable[[int], float] | None = None
     arrivals: Sequence[int] | None = None
     deadline: int | None = None
+    uid: int | None = None
 
     def __post_init__(self) -> None:
         if self.arrivals is not None and len(self.arrivals) != len(self.payloads):
@@ -212,6 +217,7 @@ class _CellPacket:
         "index",
         "arrival",
         "payload",
+        "payload_bits",
         "tx",
         "finished",
         "delivered",
@@ -219,11 +225,14 @@ class _CellPacket:
         "deadline_handle",
     )
 
-    def __init__(self, user: int, index: int, arrival: int, payload: np.ndarray) -> None:
+    def __init__(
+        self, user: int, index: int, arrival: int, payload: np.ndarray, payload_bits: int
+    ) -> None:
         self.user = user
         self.index = index
         self.arrival = arrival
         self.payload = payload
+        self.payload_bits = payload_bits
         self.tx = None
         self.finished = False
         self.delivered = False
@@ -260,19 +269,35 @@ class MacCell:
         scheduler: Scheduler | str,
         seed: int = 20111114,
         max_events: int | None = None,
+        *,
+        clock: EventScheduler | None = None,
+        allow_empty: bool = False,
     ) -> None:
-        if not users:
+        if not users and not allow_empty:
             raise ValueError("a cell needs at least one user")
         self.scheduler = (
             make_scheduler(scheduler) if isinstance(scheduler, str) else scheduler
         )
         self.seed = int(seed)
         self.max_events = max_events
-        self.clock = EventScheduler()
+        # ``clock`` lets many cells share one symbol-time clock (the
+        # multi-cell network); a standalone cell owns a private one.
+        self.clock = clock if clock is not None else EventScheduler()
         self.busy_until = 0
         self.closed_at = 0
         self._grant_pending = False
-        self.states = [_UserState(index, config) for index, config in enumerate(users)]
+        self._on_air: _CellPacket | None = None
+        self.states = [
+            _UserState(config.uid if config.uid is not None else index, config)
+            for index, config in enumerate(users)
+        ]
+        # The grant path iterates ``states`` in order and promises the
+        # scheduler views sorted by user index; dynamic attach keeps the
+        # invariant, so require it of the initial list too.
+        if any(
+            a.index >= b.index for a, b in zip(self.states, self.states[1:])
+        ):
+            raise ValueError("user ids must be strictly increasing")
         self.packets: list[_CellPacket] = []
         for state in self.states:
             state.config.link.channel.reset()
@@ -281,7 +306,13 @@ class MacCell:
                 arrival = 0 if arrivals is None else int(arrivals[index])
                 if arrival < 0:
                     raise ValueError(f"arrival times must be non-negative, got {arrival}")
-                packet = _CellPacket(state.index, index, arrival, np.asarray(payload))
+                packet = _CellPacket(
+                    state.index,
+                    index,
+                    arrival,
+                    np.asarray(payload),
+                    state.config.link.payload_bits,
+                )
                 self.packets.append(packet)
                 if arrival == 0:
                     self._enqueue(state, packet)
@@ -365,10 +396,13 @@ class MacCell:
                 eligible.append((state, packet))
         if not eligible:
             return  # idle; a future arrival will kick the medium again
+        # CSI-blind disciplines never read csi_db, so skip the observation
+        # scan (pure reads, but O(users) of them per grant) and report NaN.
+        observes_csi = getattr(self.scheduler, "observes_csi", True)
         views = [
             UserView(
                 user=state.index,
-                csi_db=float(state.csi(now)),
+                csi_db=float(state.csi(now)) if observes_csi else float("nan"),
                 backlog=len(state.queue),
                 symbols_granted=state.symbols_granted,
                 bits_delivered=state.bits_delivered,
@@ -392,6 +426,7 @@ class MacCell:
         self.scheduler.on_grant(state.index, block.n_symbols, now)
         arrival = now + block.n_symbols
         self.busy_until = arrival
+        self._on_air = packet
         self.clock.schedule(
             arrival,
             PRIORITY_BLOCK,
@@ -400,6 +435,8 @@ class MacCell:
         self._kick(arrival)
 
     def _on_block(self, state: _UserState, packet: _CellPacket, block, received) -> None:
+        if self._on_air is packet:
+            self._on_air = None
         if packet.finished:
             return  # expired while the block was in flight
         if packet.tx.deliver(block, received):
@@ -423,6 +460,55 @@ class MacCell:
             state.bits_delivered += bits
             self.scheduler.on_delivered(state.index, bits, self.clock.now)
         self._kick(self.clock.now)
+
+    # -- handoff (multi-cell networks) ---------------------------------------
+    @property
+    def on_air_user(self) -> int | None:
+        """The user whose block occupies the medium right now, if any.
+
+        ``None`` whenever the medium is free at the current clock tick —
+        including the instant a block lands (``busy_until == now``).  The
+        network layer reads this both to compute uplink interference (a
+        cell radiates from its transmitting user's position) and to defer
+        handoffs that would tear a block off the air.
+        """
+        if self._on_air is not None and self.busy_until > self.clock.now:
+            return self._on_air.user
+        return None
+
+    def detach_user(self, index: int) -> _UserState:
+        """Remove a user (queue and in-flight transmission state intact).
+
+        The returned state object is exactly what :meth:`attach_state`
+        accepts: a handoff is ``detach_user`` on the old cell followed by
+        ``attach_state`` on the new one, under one shared clock.  Packets
+        already resolved in this cell stay in its history; a partially
+        transmitted head packet migrates with its transmission (symbols
+        sent so far are neither lost nor re-sent).  Detaching the user
+        whose block is on the air is refused — land the block first.
+        """
+        for position, state in enumerate(self.states):
+            if state.index == index:
+                break
+        else:
+            raise ValueError(f"no user {index} in this cell")
+        if self.on_air_user == index:
+            raise RuntimeError(
+                f"user {index} has a block on the air until t={self.busy_until}; "
+                "defer the handoff to the block boundary"
+            )
+        return self.states.pop(position)
+
+    def attach_state(self, state: _UserState) -> None:
+        """Adopt a user migrated from another cell and contend it immediately."""
+        if any(existing.index == state.index for existing in self.states):
+            raise ValueError(f"user {state.index} already in this cell")
+        position = 0
+        while position < len(self.states) and self.states[position].index < state.index:
+            position += 1
+        self.states.insert(position, state)
+        if state.queue:
+            self._kick(self.clock.now)
 
     # -- driving -------------------------------------------------------------
     def _event_budget(self) -> int:
@@ -460,7 +546,7 @@ class MacCell:
                     delivered=packet.delivered,
                     symbols_sent=0 if tx is None else int(tx.symbols_sent),
                     symbols_needed=int(tx.symbols_delivered) if packet.delivered else 0,
-                    payload_bits=self.states[packet.user].config.link.payload_bits,
+                    payload_bits=packet.payload_bits,
                 )
             )
         return CellResult(

@@ -66,6 +66,12 @@ class Scheduler:
     #: Registry/report name of the discipline.
     name: str = "scheduler"
 
+    #: Whether :meth:`pick` reads ``csi_db``.  CSI-blind disciplines set
+    #: this ``False`` and the cell skips the per-user CSI observation at
+    #: every grant — at city scale that scan is the dominant cost of a
+    #: grant, and CSI reads are pure so skipping them is behavior-neutral.
+    observes_csi: bool = True
+
     def pick(self, now: int, views: Sequence[UserView]) -> int:
         """Return the ``user`` index of one of ``views`` to grant the medium.
 
@@ -84,6 +90,7 @@ class RoundRobinScheduler(Scheduler):
     """TDMA: cycle through backlogged users, one block each, channel-blind."""
 
     name = "round-robin"
+    observes_csi = False  # turn order never consults the channel
 
     def __init__(self) -> None:
         self._cursor = -1

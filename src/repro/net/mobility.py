@@ -1,0 +1,131 @@
+"""User mobility: deterministic 2D reflected random walks on an epoch clock.
+
+Positions update at *epoch* boundaries (``epoch_symbols`` symbol-times), not
+per symbol: channel coherence at walking speeds is many thousands of symbol
+times, and a coarser position clock is what lets the whole trajectory be
+precomputed as two arrays per axis.  Each coordinate of each user is an
+independent :func:`repro.channels.traces.random_walk_trace` — the same
+(vectorized) walk generator the time-varying channels use — reflected at the
+city bounds, with every stream derived from ``(seed, label, user)`` so a
+user's path never depends on how many other users exist or which process
+simulates it.
+
+Trajectories are finite: a walk precomputed for ``n_epochs`` epochs *parks*
+at its final position if the simulation outlives it (position reads clamp to
+the last epoch).  The network layer sizes ``n_epochs`` from its worst-case
+makespan bound and stops scheduling epoch events once everyone is parked.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.channels.traces import random_walk_trace
+from repro.utils.rng import spawn_rng
+
+__all__ = ["MobilityModel"]
+
+
+@dataclass(frozen=True)
+class MobilityModel:
+    """Precomputed per-user trajectories sampled on the epoch clock.
+
+    ``xs``/``ys`` have shape ``(n_users, n_epochs + 1)``: column 0 is the
+    initial placement, column ``e`` the position during epoch ``e``.
+    """
+
+    xs: np.ndarray
+    ys: np.ndarray
+    epoch_symbols: int
+
+    def __post_init__(self) -> None:
+        if self.xs.shape != self.ys.shape or self.xs.ndim != 2:
+            raise ValueError("xs and ys must be equal-shape (n_users, n_epochs+1)")
+        if self.epoch_symbols < 0:
+            raise ValueError("epoch_symbols must be non-negative")
+
+    @property
+    def n_users(self) -> int:
+        return self.xs.shape[0]
+
+    @property
+    def n_epochs(self) -> int:
+        return self.xs.shape[1] - 1
+
+    def position(self, user: int, epoch: int) -> tuple[float, float]:
+        """Where ``user`` is during ``epoch`` (parked at the final column)."""
+        column = min(epoch, self.n_epochs)
+        return float(self.xs[user, column]), float(self.ys[user, column])
+
+    def positions(self, epoch: int) -> tuple[np.ndarray, np.ndarray]:
+        """Every user's position during ``epoch`` (the vectorized accessor)."""
+        column = min(epoch, self.n_epochs)
+        return self.xs[:, column], self.ys[:, column]
+
+    @classmethod
+    def static(cls, positions: "list[tuple[float, float]] | tuple") -> "MobilityModel":
+        """No mobility: every user pinned to its initial position."""
+        xs = np.array([[x] for x, _ in positions], dtype=np.float64).reshape(-1, 1)
+        ys = np.array([[y] for _, y in positions], dtype=np.float64).reshape(-1, 1)
+        return cls(xs=xs, ys=ys, epoch_symbols=0)
+
+    @classmethod
+    def walks(
+        cls,
+        n_users: int,
+        n_epochs: int,
+        epoch_symbols: int,
+        step: float,
+        x_range: tuple[float, float],
+        y_range: tuple[float, float],
+        seed: int,
+        initial_positions: "list[tuple[float, float]] | None" = None,
+    ) -> "MobilityModel":
+        """Independent reflected Gaussian walks for every user.
+
+        ``step`` is the per-epoch standard deviation of each coordinate's
+        increment, in meters.  Explicit ``initial_positions`` (tests, staged
+        scenarios) replace the uniform placement draw but keep the same walk
+        streams.
+        """
+        if n_users < 0:
+            raise ValueError(f"n_users must be non-negative, got {n_users}")
+        if n_epochs < 0:
+            raise ValueError(f"n_epochs must be non-negative, got {n_epochs}")
+        if step < 0:
+            raise ValueError(f"step must be non-negative, got {step}")
+        if initial_positions is not None and len(initial_positions) != n_users:
+            raise ValueError(
+                f"{len(initial_positions)} initial positions for {n_users} users"
+            )
+        xs = np.empty((n_users, n_epochs + 1), dtype=np.float64)
+        ys = np.empty((n_users, n_epochs + 1), dtype=np.float64)
+        for user in range(n_users):
+            if initial_positions is None:
+                placement = spawn_rng(seed, "net-place", user)
+                x0 = float(placement.uniform(*x_range))
+                y0 = float(placement.uniform(*y_range))
+            else:
+                x0, y0 = map(float, initial_positions[user])
+            xs[user, 0] = x0
+            ys[user, 0] = y0
+            if n_epochs:
+                xs[user, 1:] = random_walk_trace(
+                    x0,
+                    n_epochs,
+                    step,
+                    spawn_rng(seed, "net-walk", user, "x"),
+                    min_snr_db=x_range[0],
+                    max_snr_db=x_range[1],
+                )
+                ys[user, 1:] = random_walk_trace(
+                    y0,
+                    n_epochs,
+                    step,
+                    spawn_rng(seed, "net-walk", user, "y"),
+                    min_snr_db=y_range[0],
+                    max_snr_db=y_range[1],
+                )
+        return cls(xs=xs, ys=ys, epoch_symbols=int(epoch_symbols))

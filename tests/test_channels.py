@@ -220,6 +220,82 @@ class TestTraces:
             sinusoidal_trace(0.0, 1.0, 0, 10)
 
 
+def _random_walk_reference(start_snr_db, length, step_db, rng, min_snr_db, max_snr_db):
+    """The pre-vectorization one-step-at-a-time loop, kept as the oracle."""
+    steps = rng.normal(0.0, step_db, size=length)
+    trace = np.empty(length)
+    current = float(np.clip(start_snr_db, min_snr_db, max_snr_db))
+    for i, step in enumerate(steps):
+        current += step
+        if current > max_snr_db:
+            current = 2 * max_snr_db - current
+        if current < min_snr_db:
+            current = 2 * min_snr_db - current
+        current = float(np.clip(current, min_snr_db, max_snr_db))
+        trace[i] = current
+    return trace
+
+
+def _gilbert_elliott_reference(good, bad, length, rng, p_gb, p_bg):
+    """The pre-vectorization per-symbol loop, kept as the oracle."""
+    trace = np.empty(length)
+    in_good_state = True
+    for i in range(length):
+        trace[i] = good if in_good_state else bad
+        if in_good_state and rng.random() < p_gb:
+            in_good_state = False
+        elif not in_good_state and rng.random() < p_bg:
+            in_good_state = True
+    return trace
+
+
+class TestTraceVectorizationBitIdentity:
+    """The vectorized trace generators are bit-identical to the old loops.
+
+    The mobility layer of ``repro.net`` puts these on the per-user hot path
+    at city scale; vectorization must not move a single bit, or every
+    downstream seed-pinned result shifts.
+    """
+
+    @pytest.mark.parametrize("step_db", [0.05, 1.0, 25.0, 200.0])
+    @pytest.mark.parametrize("start", [-10.0, 3.7, 40.0, 99.0])
+    def test_random_walk_matches_reference_loop(self, step_db, start):
+        # step_db spans "never reflects" to "reflects nearly every step"
+        # (200 dB steps exceed the whole range, exercising the double
+        # reflection); start values include both boundaries and an
+        # out-of-range start that the initial clip pulls back.
+        args = (start, 4097, step_db)
+        kwargs = {"min_snr_db": -10.0, "max_snr_db": 40.0}
+        expected = _random_walk_reference(*args, spawn_rng(11, "w"), **kwargs)
+        actual = random_walk_trace(*args, spawn_rng(11, "w"), **kwargs)
+        assert np.array_equal(actual, expected)
+
+    def test_random_walk_consumes_identical_rng_stream(self):
+        rng_a, rng_b = spawn_rng(12, "s"), spawn_rng(12, "s")
+        _random_walk_reference(5.0, 777, 3.0, rng_a, -10.0, 40.0)
+        random_walk_trace(5.0, 777, 3.0, rng_b)
+        assert rng_a.bit_generator.state == rng_b.bit_generator.state
+
+    @pytest.mark.parametrize(
+        "p_gb,p_bg",
+        [(0.05, 0.2), (0.0, 0.0), (1.0, 1.0), (0.5, 0.01), (0.0, 1.0)],
+    )
+    def test_gilbert_elliott_matches_reference_loop(self, p_gb, p_bg):
+        expected = _gilbert_elliott_reference(
+            20.0, -3.0, 3001, spawn_rng(13, "ge"), p_gb, p_bg
+        )
+        actual = gilbert_elliott_trace(
+            20.0, -3.0, 3001, spawn_rng(13, "ge"), p_good_to_bad=p_gb, p_bad_to_good=p_bg
+        )
+        assert np.array_equal(actual, expected)
+
+    def test_gilbert_elliott_consumes_identical_rng_stream(self):
+        rng_a, rng_b = spawn_rng(14, "s"), spawn_rng(14, "s")
+        _gilbert_elliott_reference(20.0, 0.0, 555, rng_a, 0.05, 0.2)
+        gilbert_elliott_trace(20.0, 0.0, 555, rng_b)
+        assert rng_a.bit_generator.state == rng_b.bit_generator.state
+
+
 class TestPerUserSeedDiscipline:
     """Seed determinism and per-user independence (the MAC cell's contract).
 

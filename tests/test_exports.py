@@ -28,6 +28,7 @@ PUBLIC_PACKAGES = (
     "repro.link",
     "repro.mac",
     "repro.serve",
+    "repro.net",
 )
 
 

@@ -1,0 +1,697 @@
+"""Tests for the city-scale network layer (:mod:`repro.net`).
+
+Four contracts anchor the suite:
+
+* **degeneration** — a one-cell, no-mobility, interference-free network is
+  bit-identical to a standalone :class:`~repro.mac.cell.MacCell` built from
+  the same seed labels (frozen-dataclass equality of the full result);
+* **handoff soundness** — equidistant users stay put, hysteresis filters
+  marginal moves, a user whose block is on the air hands off only at the
+  block boundary, and a mid-packet migration neither loses nor double-counts
+  symbols;
+* **calibration fidelity** — the flow tier's aggregate goodput stays within
+  a pinned relative-error bound of the bit-exact tier on identical configs;
+* **worker invariance** — replica fan-out and decoupled cell sharding are
+  byte-identical (over sorted-key JSON summaries) for any worker count.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import math
+
+import numpy as np
+import pytest
+
+from repro.channels.awgn import AWGNChannel
+from repro.mac.cell import CellUser, MacCell, RatelessLink
+from repro.mac.schedulers import make_scheduler
+from repro.net import (
+    CellNetwork,
+    CityGeometry,
+    FlowLink,
+    FlowTransmission,
+    MobilityModel,
+    NetworkConfig,
+    SinrBitChannel,
+    SinrChannel,
+    SymbolCountModel,
+    calibrate_symbol_model,
+    default_symbol_model,
+    network_code,
+    network_payloads,
+    simulate_cells_sharded,
+    simulate_network,
+    simulate_network_replicas,
+)
+from repro.phy.families import bpsk_crossover_probability
+from repro.phy.session import CodecSession
+from repro.utils.units import db_to_linear, linear_to_db
+
+
+def _grid(n_cells: int = 2, radius: float = 400.0) -> CityGeometry:
+    return CityGeometry.grid(
+        n_cells,
+        cell_radius=radius,
+        reference_snr_db=16.0,
+        path_loss_exponent=3.0,
+        reference_distance=50.0,
+        min_distance=1.0,
+    )
+
+
+def _model(
+    samples=((48,), (48,), (48,)),
+    block_symbols: int = 16,
+    max_symbols: int = 256,
+) -> SymbolCountModel:
+    """A hand-built flow model: no calibration cost, fully pinned behavior."""
+    return SymbolCountModel(
+        family="spinal",
+        payload_bits=32,
+        max_symbols=max_symbols,
+        block_symbols=block_symbols,
+        snr_grid_db=(-5.0, 5.0, 15.0),
+        samples=samples,
+    )
+
+
+def _pinned_mobility(xs_by_epoch, epoch_symbols: int) -> MobilityModel:
+    """One user moving along explicit x positions (y = 0 throughout)."""
+    xs = np.asarray([xs_by_epoch], dtype=np.float64)
+    return MobilityModel(
+        xs=xs, ys=np.zeros_like(xs), epoch_symbols=epoch_symbols
+    )
+
+
+class TestCityGeometry:
+    def test_grid_layout_and_bounds(self):
+        geometry = _grid(n_cells=4, radius=100.0)
+        assert geometry.cell_x == (0.0, 200.0, 0.0, 200.0)
+        assert geometry.cell_y == (0.0, 0.0, 200.0, 200.0)
+        assert geometry.n_cells == 4
+        assert geometry.bounds() == ((-100.0, 300.0), (-100.0, 300.0))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            _grid(n_cells=0)
+        with pytest.raises(ValueError):
+            CityGeometry(
+                cell_x=(0.0,),
+                cell_y=(0.0, 1.0),
+                cell_radius=100.0,
+                reference_snr_db=16.0,
+                path_loss_exponent=3.0,
+                reference_distance=50.0,
+                min_distance=1.0,
+            )
+        with pytest.raises(ValueError):
+            _grid(radius=-1.0)
+
+    def test_path_loss_law(self):
+        geometry = _grid(n_cells=1)
+        # At the reference distance the SNR is the reference SNR.
+        assert geometry.snr_db(50.0, 0.0, 0) == pytest.approx(16.0)
+        # Distances clamp at min_distance: closer is not stronger.
+        assert geometry.snr_db(0.5, 0.0, 0) == geometry.snr_db(1.0, 0.0, 0)
+        # Each path-loss-exponent decade costs 10 * alpha dB.
+        drop = geometry.snr_db(50.0, 0.0, 0) - geometry.snr_db(500.0, 0.0, 0)
+        assert drop == pytest.approx(30.0)
+
+    def test_scalar_vector_and_batch_paths_agree_bitwise(self):
+        geometry = _grid(n_cells=3, radius=150.0)
+        xs = np.array([10.0, 333.3, -42.0])
+        ys = np.array([5.0, -17.2, 260.0])
+        matrix = geometry.snrs_db_many(xs, ys)
+        assert matrix.shape == (3, 3)
+        for row, (x, y) in enumerate(zip(xs, ys)):
+            per_user = geometry.snrs_db(float(x), float(y))
+            assert np.array_equal(matrix[row], per_user)
+            for cell in range(3):
+                assert geometry.snr_db(float(x), float(y), cell) == per_user[cell]
+
+    def test_equidistant_tie_resolves_to_lowest_index(self):
+        geometry = _grid(n_cells=2, radius=400.0)  # cells at x=0 and x=800
+        assert geometry.strongest_cell(400.0, 0.0) == 0
+        assert geometry.strongest_cell(401.0, 0.0) == 1
+
+    def test_sinr_composition(self):
+        # No interferers: the signal passes through *unchanged*.
+        assert CityGeometry.sinr_db(7.25, []) == 7.25
+        # With interferers: S / (1 + sum I) in linear units of noise.
+        got = CityGeometry.sinr_db(10.0, [3.0, 0.0])
+        expected = linear_to_db(
+            db_to_linear(10.0) / (1.0 + db_to_linear(3.0) + db_to_linear(0.0))
+        )
+        assert got == pytest.approx(expected)
+        assert got < 10.0
+
+
+class TestMobilityModel:
+    def test_static_pins_users(self):
+        model = MobilityModel.static([(1.0, 2.0), (3.0, 4.0)])
+        assert model.n_users == 2
+        assert model.n_epochs == 0
+        assert model.epoch_symbols == 0
+        assert model.position(1, 0) == (3.0, 4.0)
+        assert model.position(1, 99) == (3.0, 4.0)  # parked forever
+
+    def test_walks_deterministic_and_per_user_streams(self):
+        kwargs = dict(
+            n_epochs=16,
+            epoch_symbols=64,
+            step=30.0,
+            x_range=(-100.0, 100.0),
+            y_range=(-50.0, 50.0),
+            seed=7,
+        )
+        a = MobilityModel.walks(n_users=3, **kwargs)
+        b = MobilityModel.walks(n_users=3, **kwargs)
+        assert np.array_equal(a.xs, b.xs) and np.array_equal(a.ys, b.ys)
+        # Streams derive from (seed, user): adding users changes nothing
+        # about existing users' trajectories.
+        wider = MobilityModel.walks(n_users=5, **kwargs)
+        assert np.array_equal(wider.xs[:3], a.xs)
+        assert np.array_equal(wider.ys[:3], a.ys)
+        # Reflected walks stay inside the city box.
+        assert np.all(a.xs >= -100.0) and np.all(a.xs <= 100.0)
+        assert np.all(a.ys >= -50.0) and np.all(a.ys <= 50.0)
+
+    def test_positions_matches_scalar_accessor_and_parks(self):
+        model = MobilityModel.walks(
+            n_users=4,
+            n_epochs=5,
+            epoch_symbols=32,
+            step=10.0,
+            x_range=(0.0, 100.0),
+            y_range=(0.0, 100.0),
+            seed=3,
+        )
+        for epoch in (0, 3, 5, 17):  # 17 > n_epochs: the parked regime
+            xs, ys = model.positions(epoch)
+            for user in range(4):
+                assert (float(xs[user]), float(ys[user])) == model.position(
+                    user, epoch
+                )
+        assert model.position(0, 5) == model.position(0, 500)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MobilityModel(xs=np.zeros((2, 3)), ys=np.zeros((3, 2)), epoch_symbols=1)
+        with pytest.raises(ValueError):
+            MobilityModel(xs=np.zeros((2, 3)), ys=np.zeros((2, 3)), epoch_symbols=-1)
+        kwargs = dict(
+            n_epochs=2,
+            epoch_symbols=8,
+            x_range=(0.0, 1.0),
+            y_range=(0.0, 1.0),
+            seed=0,
+        )
+        with pytest.raises(ValueError):
+            MobilityModel.walks(n_users=2, step=-1.0, **kwargs)
+        with pytest.raises(ValueError):
+            MobilityModel.walks(
+                n_users=2, step=1.0, initial_positions=[(0.0, 0.0)], **kwargs
+            )
+
+
+class TestSinrChannels:
+    def test_fixed_sinr_matches_plain_awgn_bitwise(self):
+        symbols = (np.arange(32) - 16).astype(np.complex128) / 4.0
+        tracked = SinrChannel(lambda: 9.5)
+        plain = AWGNChannel(snr_db=9.5)
+        got = tracked.transmit(symbols, np.random.default_rng(11))
+        expected = plain.transmit(symbols, np.random.default_rng(11))
+        assert np.array_equal(got, expected)
+
+    def test_set_time_tracks_the_callback(self):
+        levels = iter([12.0, 3.0])
+        channel = SinrChannel(lambda: next(levels), signal_power=2.0)
+        assert channel.snr_db == 12.0
+        channel.set_time(5)
+        assert channel.snr_db == 3.0
+        assert channel.noise_energy == pytest.approx(2.0 / db_to_linear(3.0))
+        assert "SINR-AWGN" in channel.describe()
+
+    def test_bit_channel_tracks_crossover(self):
+        levels = iter([8.0, -2.0])
+        channel = SinrBitChannel(lambda: next(levels))
+        assert channel.crossover_probability == pytest.approx(
+            bpsk_crossover_probability(8.0)
+        )
+        channel.set_time(1)
+        assert channel.crossover_probability == pytest.approx(
+            bpsk_crossover_probability(-2.0)
+        )
+        assert "SINR-BSC" in channel.describe()
+
+
+class TestSymbolCountModel:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            _model(samples=((48,), (48,)))  # one row per grid point
+        with pytest.raises(ValueError):
+            _model(samples=((48,), (), (48,)))  # empty row
+        with pytest.raises(ValueError):
+            SymbolCountModel(
+                family="spinal",
+                payload_bits=32,
+                max_symbols=256,
+                block_symbols=16,
+                snr_grid_db=(5.0, 5.0, 15.0),  # not strictly increasing
+                samples=((48,), (48,), (48,)),
+            )
+        with pytest.raises(ValueError):
+            _model(block_symbols=0)
+
+    def test_sample_requirement_consumes_exactly_two_draws(self):
+        model = _model(samples=((40,), (60,), (80,)))
+        for snr in (-20.0, -5.0, 1.0, 9.9, 15.0, 40.0):
+            rng = np.random.default_rng(5)
+            shadow = np.random.default_rng(5)
+            model.sample_requirement(snr, rng)
+            shadow.random()
+            shadow.integers(1)
+            # Both generators are now in the same state.
+            assert rng.random() == shadow.random()
+
+    def test_requirement_interpolates_between_neighbors(self):
+        model = _model(samples=((40,), (60,), (80,)))
+        rng = np.random.default_rng(0)
+        draws = {model.sample_requirement(0.0, rng) for _ in range(64)}
+        assert draws == {40, 60}  # midway: both neighbors appear
+        assert model.sample_requirement(-30.0, rng) == 40  # clamped low
+        assert model.sample_requirement(30.0, rng) == 80  # clamped high
+
+    def test_failure_sample_maps_to_unreachable_requirement(self):
+        model = _model(samples=((-1,), (-1,), (-1,)))
+        rng = np.random.default_rng(0)
+        assert model.sample_requirement(5.0, rng) == 2 * model.max_symbols
+        assert model.success_probability(5.0) == 0.0
+        mixed = _model(samples=((48, -1), (48, -1), (48, -1)))
+        assert mixed.success_probability(5.0) == 0.5
+
+
+class TestFlowTransmission:
+    def test_whole_packet_is_one_quantized_grant(self):
+        link = FlowLink(model=_model(samples=((40,), (40,), (40,))))
+        tx = link.open(np.zeros(32), np.random.default_rng(0), lambda: 5.0)
+        assert isinstance(tx, FlowTransmission)
+        assert tx.required_symbols == 40
+        block, received = tx.send_next_block()
+        # 40 symbols quantized up to the 16-symbol block grid -> 48.
+        assert block.n_symbols == 48 and received is None
+        assert tx.deliver(block, received) is True
+        assert tx.decoded and tx.symbols_delivered == 48
+
+    def test_budget_caps_the_grant_and_aborts_failures(self):
+        link = FlowLink(model=_model(samples=((-1,), (-1,), (-1,))))
+        tx = link.open(np.zeros(32), np.random.default_rng(0), lambda: 5.0)
+        assert tx.required_symbols == 2 * 256
+        block, _ = tx.send_next_block()
+        assert block.n_symbols == 256  # capped at max_symbols
+        assert not tx.deliver(block, None)
+        assert tx.exhausted and not tx.decoded
+
+    def test_inert_channel_hooks(self):
+        link = FlowLink(model=_model())
+        assert link.channel.reset() is None
+        assert link.channel.describe() == "Flow()"
+        assert link.payload_bits == 32 and link.max_symbols == 256
+
+
+class TestCalibration:
+    def test_calibration_is_a_pure_function_of_its_arguments(self):
+        kwargs = dict(
+            snr_grid_db=(2.0, 8.0),
+            samples_per_point=3,
+            seed=99,
+            smoke=True,
+            max_symbols=128,
+        )
+        first = calibrate_symbol_model("spinal", **kwargs)
+        second = calibrate_symbol_model("spinal", **kwargs)
+        assert first == second  # frozen dataclass equality, field for field
+        assert first.payload_bits > 0 and first.block_symbols >= 1
+        assert len(first.samples) == 2
+
+    def test_calibration_validation(self):
+        with pytest.raises(ValueError):
+            calibrate_symbol_model("spinal", (), 4, seed=0)
+        with pytest.raises(ValueError):
+            calibrate_symbol_model("spinal", (5.0,), 0, seed=0)
+
+    def test_flow_tier_tracks_bit_exact_within_pinned_bound(self):
+        """The calibrated-error contract on small cities, across seeds.
+
+        The city-scale benchmark pins the same bound at 1000 users; here
+        the configs are small enough for the bit-exact tier to be cheap,
+        so the bound is wider (fewer packets, noisier ratio).
+        """
+        base = NetworkConfig(
+            n_cells=4,
+            n_users=6,
+            packets_per_user=3,
+            scheduler="round-robin",
+            code="spinal",
+            seed=20111114,
+            max_symbols=512,
+            cell_radius=150.0,
+            reference_snr_db=18.0,
+            epoch_symbols=128,
+            mobility_step=60.0,
+            calibration_samples=16,
+            calibration_grid_points=5,
+        )
+        errors = []
+        for seed in (20111114, 7, 123):
+            exact = simulate_network(
+                dataclasses.replace(base, seed=seed, tier="exact")
+            )
+            flow_config = dataclasses.replace(base, seed=seed, tier="flow")
+            flow = simulate_network(
+                flow_config, model=default_symbol_model(flow_config)
+            )
+            assert exact.aggregate_goodput > 0
+            errors.append(
+                abs(flow.aggregate_goodput - exact.aggregate_goodput)
+                / exact.aggregate_goodput
+            )
+        assert max(errors) <= 0.25, f"per-seed relative errors {errors}"
+        assert sum(errors) / len(errors) <= 0.15, f"mean of {errors}"
+
+
+class TestDegeneration:
+    @pytest.mark.parametrize("scheduler", ["round-robin", "max-snr"])
+    def test_single_cell_static_network_is_a_plain_mac_cell(self, scheduler):
+        """One cell, no mobility, no interference == standalone MacCell.
+
+        Equality is frozen-dataclass equality of the *entire* result —
+        every packet's symbol counts and completion times, bit for bit.
+        """
+        config = NetworkConfig(
+            n_cells=1,
+            n_users=3,
+            packets_per_user=2,
+            scheduler=scheduler,
+            code="spinal",
+            tier="exact",
+            seed=20111114,
+            max_symbols=256,
+            cell_radius=400.0,
+            reference_snr_db=16.0,
+            epoch_symbols=0,
+        )
+        network = CellNetwork(config)
+        geometry = config.geometry()
+        users = []
+        for user in range(config.n_users):
+            x, y = network.mobility.position(user, 0)
+            snr_db = geometry.snr_db(x, y, 0)
+            code = network_code(config, user, snr_db)
+            channel = AWGNChannel(
+                snr_db=snr_db, signal_power=code.info.signal_power
+            )
+            users.append(
+                CellUser(
+                    link=RatelessLink(
+                        CodecSession(
+                            code,
+                            channel,
+                            termination="genie",
+                            max_symbols=config.max_symbols,
+                        )
+                    ),
+                    payloads=network_payloads(
+                        config, user, code.info.payload_bits
+                    ),
+                )
+            )
+        reference = MacCell(users, make_scheduler(scheduler), seed=config.seed).run()
+        result = network.run()
+        assert result.as_cell_result() == reference
+        assert result.n_handoffs == 0 and result.final_serving == (0, 0, 0)
+
+    def test_single_cell_with_mobility_never_hands_off(self):
+        config = NetworkConfig(
+            n_cells=1,
+            n_users=2,
+            packets_per_user=1,
+            code="spinal",
+            tier="flow",
+            max_symbols=256,
+            epoch_symbols=32,
+            mobility_step=100.0,
+            model=_model(),
+        )
+        result = simulate_network(config)
+        assert result.n_handoffs == 0 and result.n_deferred_handoffs == 0
+        assert result.final_serving == (0, 0)
+
+    def test_zero_user_network_completes_empty(self):
+        config = NetworkConfig(
+            n_cells=2,
+            n_users=0,
+            tier="flow",
+            epoch_symbols=64,
+            model=_model(),
+        )
+        result = simulate_network(config)
+        assert result.packets == ()
+        assert result.makespan == 0
+        assert result.delivery_rate == 0.0
+        assert result.handoffs_per_user == 0.0
+        assert result.handoff_rate_per_kilosymbol == 0.0
+        summary = result.summary()
+        assert summary["n_packets"] == 0 and summary["n_users"] == 0
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            NetworkConfig(tier="approximate")
+        with pytest.raises(ValueError):
+            NetworkConfig(n_cells=0)
+        with pytest.raises(ValueError):
+            NetworkConfig(n_users=-1)
+        with pytest.raises(ValueError):
+            NetworkConfig(packets_per_user=0)
+        with pytest.raises(ValueError):
+            NetworkConfig(epoch_symbols=-1)
+        with pytest.raises(ValueError):
+            NetworkConfig(n_users=2, user_positions=((0.0, 0.0),))
+        with pytest.raises(ValueError):
+            CellNetwork(
+                NetworkConfig(n_users=1, model=_model(), tier="flow"),
+                mobility=MobilityModel.static([(0.0, 0.0), (1.0, 1.0)]),
+            )
+
+
+class TestHandoff:
+    """Two cells at x=0 and x=800 (radius-400 grid) throughout."""
+
+    def _config(self, **overrides) -> NetworkConfig:
+        settings = dict(
+            n_cells=2,
+            n_users=1,
+            packets_per_user=2,
+            scheduler="round-robin",
+            code="spinal",
+            tier="flow",
+            seed=20111114,
+            max_symbols=256,
+            cell_radius=400.0,
+            reference_snr_db=16.0,
+            model=_model(),
+        )
+        settings.update(overrides)
+        return NetworkConfig(**settings)
+
+    def test_equidistant_user_stays_with_lowest_index_cell(self):
+        epoch_symbols = 20
+        config = self._config(epoch_symbols=epoch_symbols)
+        result = CellNetwork(
+            config,
+            mobility=_pinned_mobility([400.0] * 8, epoch_symbols),
+        ).run()
+        assert result.final_serving == (0,)
+        assert result.n_handoffs == 0 and result.n_deferred_handoffs == 0
+
+    def test_hysteresis_filters_marginal_moves(self):
+        # x=405 favors cell 1 by ~0.33 dB — inside the 1 dB hysteresis.
+        epoch_symbols = 20
+        config = self._config(epoch_symbols=epoch_symbols)
+        result = CellNetwork(
+            config,
+            mobility=_pinned_mobility([390.0] + [405.0] * 7, epoch_symbols),
+        ).run()
+        assert result.final_serving == (0,)
+        assert result.n_handoffs == 0
+
+    def test_on_air_handoff_defers_to_the_block_boundary(self):
+        # The flow tier grants the whole 48-symbol packet at once; the
+        # first epoch tick (t=20) lands mid-grant, so the handoff must
+        # defer, then complete once the block lands.
+        epoch_symbols = 20
+        config = self._config(epoch_symbols=epoch_symbols)
+        result = CellNetwork(
+            config,
+            mobility=_pinned_mobility([100.0] + [700.0] * 10, epoch_symbols),
+        ).run()
+        assert result.n_deferred_handoffs >= 1
+        assert result.n_handoffs == 1
+        assert result.handoffs_by_user == (1,)
+        assert result.final_serving == (1,)
+        assert all(packet.delivered for packet in result.packets)
+        # The deferral did not distort the flow accounting: both packets
+        # took exactly their quantized 48-symbol grant.
+        assert [p.symbols_sent for p in result.packets] == [48, 48]
+
+    def test_mid_packet_migration_preserves_symbol_accounting(self):
+        # Bit-exact tier, 1-symbol blocks: the epoch tick at t=2 migrates
+        # the user while packet 0 is partially transmitted.  The packet
+        # finishes in the *new* cell with no symbol lost or re-sent.
+        epoch_symbols = 2
+        config = self._config(tier="exact", model=None, max_symbols=512,
+                              epoch_symbols=epoch_symbols)
+        result = CellNetwork(
+            config,
+            mobility=_pinned_mobility([100.0] + [700.0] * 10, epoch_symbols),
+        ).run()
+        assert result.n_handoffs == 1
+        assert result.final_serving == (1,)
+        assert all(packet.delivered for packet in result.packets)
+        head = result.packets[0]
+        # The handoff (t=2) happened strictly inside packet 0's lifetime.
+        assert head.completed > epoch_symbols
+        # Genie termination: delivered packets sent exactly what decoding
+        # needed — a lost or double-counted symbol would break this.
+        for packet in result.packets:
+            assert packet.symbols_sent == packet.symbols_needed > 0
+
+    def test_detach_refuses_mid_air_and_unknown_users(self):
+        link = FlowLink(model=_model())
+        cell = MacCell(
+            [CellUser(link=link, payloads=[np.zeros(32)], csi=lambda now: 5.0)],
+            make_scheduler("round-robin"),
+        )
+        cell.run_until(1)  # the 48-symbol grant is now on the air
+        assert cell.on_air_user == 0
+        with pytest.raises(RuntimeError):
+            cell.detach_user(0)
+        with pytest.raises(ValueError):
+            cell.detach_user(7)
+        cell.run()
+        assert cell.on_air_user is None  # medium free after completion
+
+
+class TestSharding:
+    def _decoupled_config(self, **overrides) -> NetworkConfig:
+        settings = dict(
+            n_cells=3,
+            n_users=6,
+            packets_per_user=2,
+            scheduler="round-robin",
+            code="spinal",
+            tier="exact",
+            seed=20111114,
+            max_symbols=256,
+            cell_radius=400.0,
+            reference_snr_db=16.0,
+            interference=False,
+            epoch_symbols=0,
+        )
+        settings.update(overrides)
+        return NetworkConfig(**settings)
+
+    def test_cell_sharding_is_byte_identical_for_any_worker_count(self):
+        config = self._decoupled_config()
+        full = json.dumps(CellNetwork(config).run().summary(), sort_keys=True)
+        serial = json.dumps(
+            simulate_cells_sharded(config, n_workers=1).summary(), sort_keys=True
+        )
+        fanned = json.dumps(
+            simulate_cells_sharded(config, n_workers=4).summary(), sort_keys=True
+        )
+        assert full == serial == fanned
+
+    def test_sharding_requires_decoupled_cells(self):
+        with pytest.raises(ValueError):
+            simulate_cells_sharded(self._decoupled_config(interference=True))
+        with pytest.raises(ValueError):
+            simulate_cells_sharded(
+                self._decoupled_config(epoch_symbols=64), n_workers=2
+            )
+        with pytest.raises(ValueError):
+            CellNetwork(self._decoupled_config(), restrict_to_cell=9)
+
+    def test_replicas_are_worker_invariant_and_seed_distinct(self):
+        config = NetworkConfig(
+            n_cells=3,
+            n_users=6,
+            packets_per_user=2,
+            scheduler="round-robin",
+            code="spinal",
+            tier="flow",
+            seed=20111114,
+            max_symbols=256,
+            cell_radius=150.0,
+            reference_snr_db=18.0,
+            epoch_symbols=64,
+            mobility_step=60.0,
+            model=_model(
+                samples=((48, 64, -1), (32, 48, 64), (16, 16, 32))
+            ),
+        )
+        serial = simulate_network_replicas(config, 5, n_workers=1)
+        fanned = simulate_network_replicas(config, 5, n_workers=3)
+        assert json.dumps(serial, sort_keys=True) == json.dumps(
+            fanned, sort_keys=True
+        )
+        # Replicas carry independent derived seeds: all five differ.
+        assert len({json.dumps(r, sort_keys=True) for r in serial}) == 5
+        with pytest.raises(ValueError):
+            simulate_network_replicas(config, 0)
+
+
+class TestNetworkResult:
+    def test_summary_surface(self):
+        config = NetworkConfig(
+            n_cells=2,
+            n_users=3,
+            packets_per_user=2,
+            tier="flow",
+            epoch_symbols=64,
+            mobility_step=80.0,
+            cell_radius=150.0,
+            reference_snr_db=18.0,
+            model=_model(),
+        )
+        result = simulate_network(config)
+        summary = result.summary()
+        for key in (
+            "scheduler",
+            "tier",
+            "n_users",
+            "n_cells",
+            "n_packets",
+            "n_delivered",
+            "delivery_rate",
+            "aggregate_goodput",
+            "jain_fairness",
+            "mean_latency",
+            "makespan",
+            "n_handoffs",
+            "n_deferred_handoffs",
+            "handoffs_per_user",
+            "handoff_rate_per_kilosymbol",
+        ):
+            assert key in summary
+        json.dumps(summary)  # JSON-native by contract
+        assert summary["n_packets"] == 6
+        assert result.handoffs_per_user == result.n_handoffs / 3
+        if result.makespan:
+            assert result.handoff_rate_per_kilosymbol == pytest.approx(
+                1000.0 * result.n_handoffs / result.makespan
+            )
+        assert sum(result.handoffs_by_user) == result.n_handoffs
+        assert math.isfinite(result.jain_fairness)
