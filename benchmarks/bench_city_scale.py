@@ -20,11 +20,15 @@ calibration-fidelity and determinism claims are asserted at every scale.
 from __future__ import annotations
 
 import json
+import pathlib
 import time
 
 from _bench_utils import bench_smoke
 
 from repro.net import CellNetwork, NetworkConfig, default_symbol_model
+from repro.obs import Telemetry, set_current, write_all
+
+_TELEMETRY_DIR = pathlib.Path(__file__).resolve().parent.parent / "city_scale_telemetry"
 
 _SEED = 20111114
 #: Full-mode acceptance: flow vs bit-exact users-simulated-per-second at 1k users.
@@ -128,7 +132,24 @@ def test_city_flow_tier_deterministic(benchmark, reporter):
     first = benchmark.pedantic(measure, rounds=1, iterations=1)
     second = CellNetwork(config, model=model).run().summary()
     assert json.dumps(first, sort_keys=True) == json.dumps(second, sort_keys=True)
+
+    # Telemetry-on rerun: same summary bytes, plus an exported stage profile
+    # (grants, SINR samples, handoffs) the CI job can archive.
+    telemetry = Telemetry()
+    previous = set_current(telemetry)
+    try:
+        observed = CellNetwork(config, model=model).run().summary()
+    finally:
+        set_current(previous)
+    assert json.dumps(first, sort_keys=True) == json.dumps(observed, sort_keys=True)
+    paths = write_all(telemetry, _TELEMETRY_DIR)
+
     reporter.add(
-        f"City scale — flow tier determinism at {_SMOKE_USERS} users",
-        "\n".join(f"{key:>28}: {value}" for key, value in first.items()),
+        f"City scale — flow tier determinism at {_SMOKE_USERS} users "
+        f"(byte-identical with telemetry on)",
+        "\n".join(f"{key:>28}: {value}" for key, value in first.items())
+        + f"\n{'grants':>28}: "
+        f"{telemetry.counter_value('mac.grants', scheduler=config.scheduler):.0f}"
+        + f"\n{'epochs':>28}: {telemetry.counter_value('net.epochs'):.0f}"
+        + f"\n{'exported':>28}: {paths['jsonl']}",
     )

@@ -30,9 +30,13 @@ from dataclasses import replace
 
 from _bench_utils import bench_smoke
 
+from repro.obs import NullTelemetry, Telemetry, set_current, write_all
 from repro.serve import SoakConfig, SoakEngine, run_sequential_baseline
 
 _SEED = 20111114
+#: Guard on the cost of leaving instrumentation in the hot paths: with the
+#: sink disabled, the seams may cost at most this fraction of a smoke soak.
+_MAX_DISABLED_OVERHEAD = 0.02
 #: Full-mode acceptance: batched vs sequential-driver wall-clock at 256 sessions.
 _MIN_SOAK_SPEEDUP = 4.0
 #: Smoke-mode deterministic floor on sustained throughput (symbols per tick).
@@ -43,6 +47,7 @@ _MAX_P99_LATENCY = 64.0
 _MIN_SYMBOLS_PER_SECOND = 200.0
 
 _SUMMARY_PATH = pathlib.Path(__file__).resolve().parent.parent / "serve_soak_summary.json"
+_TELEMETRY_DIR = pathlib.Path(__file__).resolve().parent.parent / "serve_soak_telemetry"
 
 #: The soak workload the >= 4x pin is taken at: long sessions (low SNR,
 #: 24-bit payloads) keep the decode stage the dominant cost, and a wide
@@ -159,3 +164,121 @@ def test_serve_soak_sustained_metrics(benchmark, reporter):
         assert summary["symbols_per_tick"] >= _MIN_SYMBOLS_PER_TICK, summary
         assert summary["p99_latency"] <= _MAX_P99_LATENCY, summary
     assert summary["symbols_per_second"] >= _MIN_SYMBOLS_PER_SECOND, summary
+
+
+class _CountingNull(NullTelemetry):
+    """A disabled sink that counts every seam touch.
+
+    Hot paths read ``enabled`` once per seam; cold seams call the no-op
+    methods directly.  Both register here as one touch, so ``touches`` is
+    an upper bound on the per-run work the disabled path adds.
+    """
+
+    __slots__ = ("touches",)
+
+    def __init__(self) -> None:
+        self.touches = 0
+
+    @property
+    def enabled(self) -> bool:
+        self.touches += 1
+        return False
+
+    def counter(self, name, value=1, **labels):
+        self.touches += 1
+
+    def gauge(self, name, value, **labels):
+        self.touches += 1
+
+    def observe(self, name, value, **labels):
+        self.touches += 1
+
+    def span(self, name, **labels):
+        self.touches += 1
+        return super().span(name)
+
+    def bind_clock(self, clock):
+        self.touches += 1
+
+
+def test_serve_soak_disabled_telemetry_overhead(reporter):
+    """Disabled-sink seams cost <= 2% of a smoke soak's wall-clock.
+
+    Timing an on/off pair directly would drown the signal in machine noise,
+    so the guard is computed: count the seam touches one soak performs
+    (counting sink), microbenchmark the per-touch cost of the disabled
+    path, and pin ``touches * per_touch`` against the measured soak time.
+    """
+    config = _SMOKE_CONFIG
+    reference = SoakEngine(config).run()
+    soak_s = min(
+        _timed(lambda: SoakEngine(config).run())[1] for _ in range(3)
+    )
+
+    counting = _CountingNull()
+    previous = set_current(counting)
+    try:
+        counted = SoakEngine(config).run()
+    finally:
+        set_current(previous)
+    # The counting sink is still a *disabled* sink: same bytes out.
+    assert counted.delivery_log_json() == reference.delivery_log_json()
+
+    null = NullTelemetry()
+    n = 200_000
+    start = time.perf_counter()
+    for _ in range(n):
+        if null.enabled:  # the hot-guard shape
+            pass
+        null.counter("x", 1, hop=0)  # the cold-seam shape
+    per_touch = (time.perf_counter() - start) / (2 * n)
+
+    overhead_s = counting.touches * per_touch
+    fraction = overhead_s / soak_s
+    reporter.add(
+        f"Disabled-telemetry overhead — {config.n_sessions}-session smoke soak",
+        f"seam touches       {counting.touches}\n"
+        f"per-touch cost     {per_touch * 1e9:.0f} ns\n"
+        f"estimated overhead {overhead_s * 1e6:.0f} us of {soak_s * 1e3:.1f} ms "
+        f"({fraction * 100:.3f}%, pin <= {_MAX_DISABLED_OVERHEAD * 100:.0f}%)",
+    )
+    assert fraction <= _MAX_DISABLED_OVERHEAD, (
+        f"disabled telemetry costs {fraction * 100:.2f}% of the soak "
+        f"({counting.touches} touches x {per_touch * 1e9:.0f} ns vs "
+        f"{soak_s * 1e3:.1f} ms)"
+    )
+
+
+def _timed(fn):
+    start = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - start
+
+
+def test_serve_soak_telemetry_profile(reporter):
+    """Telemetry-on soak: byte-identical log, exported stage profile."""
+    smoke = bench_smoke()
+    config = _SMOKE_CONFIG if smoke else _FULL_CONFIG
+    off = SoakEngine(config).run()
+
+    telemetry = Telemetry()
+    previous = set_current(telemetry)
+    try:
+        on, on_s = _timed(lambda: SoakEngine(config).run())
+    finally:
+        set_current(previous)
+    assert off.delivery_log_json() == on.delivery_log_json()
+
+    paths = write_all(telemetry, _TELEMETRY_DIR)
+    decode_us = sum(
+        s["dur_us"] for s in telemetry.spans if s["name"] == "serve.decode_batch"
+    )
+    reporter.add(
+        f"Serve soak stage profile — {config.n_sessions} sessions "
+        f"(telemetry on, byte-identical log)",
+        f"soak wall-clock   {on_s * 1e3:8.1f} ms\n"
+        f"decode-batch span {decode_us / 1e3:8.1f} ms over "
+        f"{len(telemetry.spans)} batches "
+        f"({decode_us / 1e3 / (on_s * 1e3) * 100:.0f}% of wall-clock)\n"
+        f"exported: {paths['jsonl']}",
+    )

@@ -37,6 +37,13 @@ choice of fidelity tier (bit-exact PHY or the calibrated flow fast path),
 optionally fanning seed-independent replicas across worker processes
 (``--json`` emits the machine-readable summary the CI smoke job archives).
 
+``run``, ``serve-soak`` and ``city-soak`` accept ``--telemetry DIR``: the
+bit-transparent sink (``repro.obs``) is installed before the simulation is
+constructed and a snapshot is exported to ``DIR`` afterwards (JSONL event
+stream, Chrome ``trace_event`` timeline, Prometheus text page).  ``obs
+report`` renders a saved JSONL stream as tables and ASCII histograms;
+``obs check`` validates the three exporter files in a directory.
+
 Every command prints a plain-text table (and optionally an ASCII chart), so
 the CLI is usable over ssh on a machine with nothing but this package and
 numpy/scipy installed.  ``--workers/-j N`` fans Monte-Carlo work out over
@@ -67,6 +74,17 @@ from repro.utils.results import render_table
 from repro.utils.store import RunStore, read_run
 
 __all__ = ["build_parser", "main"]
+
+
+def _add_telemetry_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--telemetry",
+        metavar="DIR",
+        default=None,
+        help="record counters/histograms/spans and export them to DIR "
+        "(telemetry.jsonl, trace.json, metrics.prom); runs are "
+        "bit-identical with or without this flag",
+    )
 
 
 def _add_runner_arguments(parser: argparse.ArgumentParser) -> None:
@@ -154,6 +172,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="shrink to the experiment's seconds-scale smoke configuration",
     )
     run.add_argument("--plot", action="store_true", help="also print an ASCII chart")
+    _add_telemetry_argument(run)
 
     report = subparsers.add_parser(
         "report", help="re-render a persisted run file without recomputation"
@@ -270,6 +289,13 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="emit the metrics summary as JSON (the CI artifact format)",
     )
+    serve.add_argument(
+        "--smoke",
+        action="store_true",
+        help="shrink to a seconds-scale soak (32 sessions, 16 in flight) "
+        "for CI smoke jobs",
+    )
+    _add_telemetry_argument(serve)
 
     city = subparsers.add_parser(
         "city-soak",
@@ -332,6 +358,20 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="emit the metrics summary as JSON (the CI artifact format)",
     )
+    _add_telemetry_argument(city)
+
+    obs = subparsers.add_parser(
+        "obs", help="inspect and validate exported telemetry"
+    )
+    obs_sub = obs.add_subparsers(dest="obs_command", required=True)
+    obs_report = obs_sub.add_parser(
+        "report", help="render a telemetry.jsonl stream as tables and charts"
+    )
+    obs_report.add_argument("jsonl_file", help="path to a telemetry.jsonl export")
+    obs_check = obs_sub.add_parser(
+        "check", help="validate the exporter files in a telemetry directory"
+    )
+    obs_check.add_argument("directory", help="directory written by --telemetry")
 
     ldpc = subparsers.add_parser("ldpc", help="achieved rate of one LDPC configuration")
     ldpc.add_argument("snrs", type=float, nargs="+", help="SNR values in dB")
@@ -346,6 +386,67 @@ def build_parser() -> argparse.ArgumentParser:
     ldpc.add_argument("--seed", type=int, default=20111114)
 
     return parser
+
+
+# -- telemetry ----------------------------------------------------------------
+
+
+class _TelemetryScope:
+    """Install the live sink for one command, export on success.
+
+    Installation happens in ``__enter__`` — *before* the command constructs
+    any engine/network/session, because instrumented classes capture the
+    process-global sink once at construction time.  ``note()`` returns a
+    one-line trailer naming the written files (empty when ``--telemetry``
+    was not given), and ``__exit__`` always restores the previous sink so
+    in-process callers (tests) never leak an enabled registry.
+    """
+
+    def __init__(self, directory: str | None) -> None:
+        self.directory = directory
+        self.telemetry = None
+        self._previous = None
+        self._paths: dict[str, str] = {}
+
+    def __enter__(self) -> "_TelemetryScope":
+        if self.directory is not None:
+            from repro.obs.telemetry import Telemetry, set_current
+
+            self.telemetry = Telemetry()
+            self._previous = set_current(self.telemetry)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if self.telemetry is not None:
+            from repro.obs.exporters import write_all
+            from repro.obs.telemetry import set_current
+
+            set_current(self._previous)
+            if exc_type is None:
+                self._paths = write_all(self.telemetry, self.directory)
+        return False
+
+    def note(self) -> str:
+        if not self._paths:
+            return ""
+        return "\ntelemetry: " + " ".join(
+            str(self._paths[kind]) for kind in ("jsonl", "trace", "prom")
+        )
+
+
+def _command_obs(args: argparse.Namespace) -> str:
+    if args.obs_command == "report":
+        from repro.obs.report import render_report
+
+        return render_report(args.jsonl_file)
+    from repro.obs.exporters import validate_directory
+
+    problems = validate_directory(args.directory)
+    if problems:
+        raise SystemExit(
+            "telemetry validation failed:\n" + "\n".join(f"  - {p}" for p in problems)
+        )
+    return f"ok: {args.directory} (telemetry.jsonl, trace.json, metrics.prom)"
 
 
 # -- registry commands --------------------------------------------------------
@@ -415,30 +516,31 @@ def _command_run(args: argparse.Namespace) -> str:
     chosen = registry.names() if args.all else [args.name]
     store = None if args.no_save else RunStore(args.out)
     pieces = []
-    for name in chosen:
-        experiment = registry.get(name)
-        outcome = run_experiment(
-            experiment,
-            overrides=_parse_overrides(experiment, args.sets),
-            n_workers=args.workers,
-            n_trials=args.trials,
-            seed=args.seed,
-            store=store,
-            smoke=args.smoke,
-        )
-        text = f"== {name}: {experiment.description}\n\n" + outcome.table()
-        if args.plot:
-            chart = render_run_plot(experiment, outcome.record)
-            if chart:
-                text += "\n\n" + chart
-        if outcome.path is not None:
-            text += (
-                f"\n\nsaved: {outcome.path} "
-                f"({outcome.n_cells_computed} cells computed, "
-                f"{outcome.n_cells_cached} from cache)"
+    with _TelemetryScope(args.telemetry) as scope:
+        for name in chosen:
+            experiment = registry.get(name)
+            outcome = run_experiment(
+                experiment,
+                overrides=_parse_overrides(experiment, args.sets),
+                n_workers=args.workers,
+                n_trials=args.trials,
+                seed=args.seed,
+                store=store,
+                smoke=args.smoke,
             )
-        pieces.append(text)
-    return "\n\n".join(pieces)
+            text = f"== {name}: {experiment.description}\n\n" + outcome.table()
+            if args.plot:
+                chart = render_run_plot(experiment, outcome.record)
+                if chart:
+                    text += "\n\n" + chart
+            if outcome.path is not None:
+                text += (
+                    f"\n\nsaved: {outcome.path} "
+                    f"({outcome.n_cells_computed} cells computed, "
+                    f"{outcome.n_cells_cached} from cache)"
+                )
+            pieces.append(text)
+    return "\n\n".join(pieces) + scope.note()
 
 
 def _command_report(args: argparse.Namespace) -> str:
@@ -615,9 +717,12 @@ def _command_serve_soak(args: argparse.Namespace) -> str:
 
     from repro.serve import SoakConfig, SoakEngine
 
+    n_sessions, max_in_flight = args.sessions, args.in_flight
+    if args.smoke:
+        n_sessions, max_in_flight = 32, 16
     config = SoakConfig(
-        n_sessions=args.sessions,
-        max_in_flight=args.in_flight,
+        n_sessions=n_sessions,
+        max_in_flight=max_in_flight,
         arrival_spacing=args.arrival_spacing,
         snr_db=args.snr,
         seed=args.seed,
@@ -628,15 +733,16 @@ def _command_serve_soak(args: argparse.Namespace) -> str:
         max_symbols=args.max_symbols,
         batching=not args.no_batching,
     )
-    engine = SoakEngine(config)
-    start = time.perf_counter()
-    result = engine.run()
-    elapsed = time.perf_counter() - start
+    with _TelemetryScope(args.telemetry) as scope:
+        engine = SoakEngine(config)
+        start = time.perf_counter()
+        result = engine.run()
+        elapsed = time.perf_counter() - start
     summary = result.summary(elapsed_s=elapsed)
     if args.json:
         return json.dumps(summary, indent=2, sort_keys=True)
     rows = [(key, summary[key]) for key in summary]
-    return render_table(["metric", "value"], rows)
+    return render_table(["metric", "value"], rows) + scope.note()
 
 
 def _command_city_soak(args: argparse.Namespace) -> str:
@@ -659,9 +765,12 @@ def _command_city_soak(args: argparse.Namespace) -> str:
         epoch_symbols=args.epoch_symbols,
         interference=not args.no_interference,
     )
-    start = time.perf_counter()
-    replicas = simulate_network_replicas(config, args.replicas, n_workers=args.workers)
-    elapsed = time.perf_counter() - start
+    with _TelemetryScope(args.telemetry) as scope:
+        start = time.perf_counter()
+        replicas = simulate_network_replicas(
+            config, args.replicas, n_workers=args.workers
+        )
+        elapsed = time.perf_counter() - start
     numeric = [
         key
         for key in replicas[0]
@@ -682,7 +791,7 @@ def _command_city_soak(args: argparse.Namespace) -> str:
             {"aggregate": aggregate, "replicas": replicas}, indent=2, sort_keys=True
         )
     rows = [(key, aggregate[key]) for key in aggregate]
-    return render_table(["metric", "value"], rows)
+    return render_table(["metric", "value"], rows) + scope.note()
 
 
 def _command_ldpc(args: argparse.Namespace) -> str:
@@ -722,6 +831,7 @@ def main(argv: list[str] | None = None) -> str:
         "transport": _command_transport,
         "serve-soak": _command_serve_soak,
         "city-soak": _command_city_soak,
+        "obs": _command_obs,
     }
     output = commands[args.command](args)
     print(output)

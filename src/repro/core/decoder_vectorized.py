@@ -58,6 +58,7 @@ from repro.core.decoder_bubble import BubbleDecoder, DecodeResult
 from repro.core.decoder_incremental import IncrementalBubbleDecoder
 from repro.core.encoder import ReceivedObservations, SpinalEncoder
 from repro.core.hashing import hash_spine_keyed, symbol_word_keyed
+from repro.obs.telemetry import current as current_telemetry
 
 __all__ = [
     "VectorizedBubbleDecoder",
@@ -372,6 +373,7 @@ class VectorizedBubbleDecoder:
             )
         self.candidates_explored_total = 0
         self.decode_calls = 0
+        self._tel = current_telemetry()
         self.reset()
 
     # ------------------------------------------------------------------
@@ -556,6 +558,8 @@ class VectorizedBubbleDecoder:
             self.reset()
         self._n_segments = n_segments
         self.decode_calls += 1
+        tel = self._tel
+        t0 = tel.now_s() if tel.enabled else 0.0
 
         resume = self._resume_level(observations, n_segments)
         if resume == n_segments and self._last_result is not None:
@@ -567,6 +571,10 @@ class VectorizedBubbleDecoder:
             )
             self._last_result = result
             self._last_store = observations
+            if tel.enabled:
+                tel.counter("decoder.decodes")
+                tel.counter("decoder.resume_shortcuts")
+                tel.observe("decoder.decode_s", tel.now_s() - t0)
             return result
 
         if resume == 0:
@@ -580,6 +588,9 @@ class VectorizedBubbleDecoder:
 
         width = self._width
         explored = 0
+        cache_hits = 0
+        cache_misses = 0
+        evicted = 0
         for position in range(resume, n_segments):
             cache = self._levels[position] if position < len(self._levels) else None
             pass_indices, values = observations.for_position(position)
@@ -601,10 +612,16 @@ class VectorizedBubbleDecoder:
             if cache is None:
                 cache = _LevelCache(width)
             if cache.needs_compaction(n_obs):
+                blocks_before = cache.n_blocks
                 cache.compact_grow(n_obs, self.decode_calls)
+                evicted += blocks_before - cache.n_blocks
 
             blocks = cache.lookup(states)
             miss = blocks < 0
+            if tel.enabled:
+                n_miss = int(np.count_nonzero(miss))
+                cache_misses += n_miss
+                cache_hits += states.size - n_miss
             if miss.any():
                 miss_parents = states[miss]
                 children = self._expand(miss_parents)
@@ -702,6 +719,14 @@ class VectorizedBubbleDecoder:
             beam_trace=tuple(int(level.kept_idx.size) for level in self._levels),
         )
         self._last_result = result
+        if tel.enabled:
+            tel.counter("decoder.decodes")
+            tel.counter("decoder.levels_expanded", n_segments - resume)
+            tel.counter("decoder.cache_hits", cache_hits)
+            tel.counter("decoder.cache_misses", cache_misses)
+            if evicted:
+                tel.counter("decoder.cache_evictions", evicted)
+            tel.observe("decoder.decode_s", tel.now_s() - t0)
         return result
 
 
@@ -806,6 +831,7 @@ class BatchDecoder:
         self.max_stack_elements = (
             _MAX_STACK_ELEMENTS if max_stack_elements is None else int(max_stack_elements)
         )
+        self._tel = current_telemetry()
 
     @property
     def n_sessions(self) -> int:
@@ -956,6 +982,8 @@ class BatchDecoder:
                 )
         if not sessions:
             return []
+        tel = self._tel
+        t0 = tel.now_s() if tel.enabled else 0.0
         encoders = [self.encoders[s] for s in sessions]
         index = np.asarray(sessions, dtype=np.int64)
         key1s = self._key1s[index]
@@ -1087,6 +1115,10 @@ class BatchDecoder:
                     beam_trace=tuple(beam_traces[session]),
                 )
             )
+        if tel.enabled:
+            tel.counter("decoder.batch_decodes")
+            tel.counter("decoder.batch_sessions", n_sessions)
+            tel.observe("decoder.batch_decode_s", tel.now_s() - t0)
         return results
 
 

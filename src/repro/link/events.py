@@ -98,12 +98,28 @@ class EventScheduler:
         self._heap: list[tuple[int, int, int, EventHandle, Callable[[], None]]] = []
         self._counter = 0
         self._n_cancelled = 0
-        self.now = 0
-        #: Index of the event currently (or most recently) executing.  Any
-        #: simulation state change happens inside some event, so ``(now,
-        #: n_processed)`` is a sound memo key for state that is fixed while
-        #: one action runs (e.g. the network's interference cache).
-        self.n_processed = 0
+        self._now = 0
+        self._n_processed = 0
+
+    @property
+    def now(self) -> int:
+        """Current tick (read-only; only event processing advances it).
+
+        Observers — the telemetry layer stamps spans with this clock — read
+        the same accessor the simulation uses, so instrumentation can never
+        write the clock by accident.
+        """
+        return self._now
+
+    @property
+    def n_processed(self) -> int:
+        """Index of the event currently (or most recently) executing.
+
+        Read-only.  Any simulation state change happens inside some event,
+        so ``(now, n_processed)`` is a sound memo key for state that is
+        fixed while one action runs (e.g. the network's interference cache).
+        """
+        return self._n_processed
 
     def schedule(
         self, time: int, priority: int, action: Callable[[], None]
@@ -169,7 +185,7 @@ class EventScheduler:
         if time < self.now:
             raise ValueError(f"cannot run until {time}, already at {self.now}")
         processed = self._run(until=time, max_events=max_events)
-        self.now = max(self.now, time)
+        self._now = max(self._now, time)
         return processed
 
     def _run(self, until: int | None, max_events: int | None) -> int:
@@ -180,8 +196,8 @@ class EventScheduler:
             time, _, _, handle, action = heapq.heappop(self._heap)
             if not handle._fire():
                 continue  # cancelled: skip without advancing the clock
-            self.now = time
-            self.n_processed += 1
+            self._now = time
+            self._n_processed += 1
             action()
             processed += 1
             if max_events is not None and processed > max_events:

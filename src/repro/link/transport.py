@@ -60,6 +60,7 @@ from repro.link.events import (
     EventScheduler,
 )
 from repro.link.session import LinkSessionResult
+from repro.obs.telemetry import current as current_telemetry
 from repro.utils.rng import spawn_rng
 
 __all__ = [
@@ -271,6 +272,7 @@ class HopTransport:
         self.outstanding = 0
         self.max_outstanding = 0
         self.closed_at = 0
+        self._tel = current_telemetry()
 
     # -- packet intake -------------------------------------------------------
     def enqueue(self, payload: np.ndarray, orig_index: int) -> None:
@@ -336,6 +338,11 @@ class HopTransport:
         self.rr_cursor = seq
         transmission = self._transmission(seq)
         block, received = transmission.send_next_block()
+        if self._tel.enabled:
+            self._tel.counter("link.blocks_sent", hop=self.hop_index)
+            self._tel.observe(
+                "link.window_occupancy", self.outstanding, hop=self.hop_index
+            )
         arrival = now + block.n_symbols
         self.busy_until = arrival
         self.scheduler.schedule(
@@ -371,8 +378,12 @@ class HopTransport:
     # -- receiver side -------------------------------------------------------
     def _send_ack(self, value: int) -> None:
         self.acks_sent += 1
+        if self._tel.enabled:
+            self._tel.counter("link.acks_sent", hop=self.hop_index)
         if not self.ack_channel.survives(self.ack_rng):
             self.acks_lost += 1
+            if self._tel.enabled:
+                self._tel.counter("link.acks_lost", hop=self.hop_index)
             return
         self.scheduler.schedule(
             self.scheduler.now + self.config.ack_delay,
@@ -385,6 +396,8 @@ class HopTransport:
         state.delivered = True
         state.delivery_time = self.scheduler.now
         self.closed_at = max(self.closed_at, self.scheduler.now)
+        if self._tel.enabled:
+            self._tel.counter("link.packets_delivered", hop=self.hop_index)
         if self.on_deliver is not None:
             self.on_deliver(state.orig_index, state.decoded_payload, self.scheduler.now)
 
@@ -413,7 +426,14 @@ class HopTransport:
             self._send_ack(self.expected)
             return
         if seq > self.expected:
-            return  # out-of-order: discarded silently (the GBN penalty)
+            # Out-of-order: discarded silently (the GBN penalty).  The
+            # discarded symbols are the protocol's retransmission waste.
+            if self._tel.enabled:
+                self._tel.counter("link.blocks_discarded", hop=self.hop_index)
+                self._tel.counter(
+                    "link.symbols_discarded", block.n_symbols, hop=self.hop_index
+                )
+            return
         transmission = self.packets[seq].transmission
         if transmission.deliver(block, received):
             self._complete(seq)
@@ -463,6 +483,8 @@ class HopTransport:
         state = self.packets[seq]
         state.failed = True
         self.outstanding -= 1
+        if self._tel.enabled:
+            self._tel.counter("link.aborts", hop=self.hop_index)
         if self.config.protocol == "go-back-n":
             if seq == self.expected:
                 self.expected += 1

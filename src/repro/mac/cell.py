@@ -60,6 +60,7 @@ from repro.link.events import (
 )
 from repro.link.transport import packet_rng
 from repro.mac.metrics import CellResult, PacketOutcome
+from repro.obs.telemetry import current as current_telemetry
 from repro.mac.schedulers import Scheduler, UserView, make_scheduler
 
 __all__ = [
@@ -287,6 +288,7 @@ class MacCell:
         self.closed_at = 0
         self._grant_pending = False
         self._on_air: _CellPacket | None = None
+        self._tel = current_telemetry()
         self.states = [
             _UserState(config.uid if config.uid is not None else index, config)
             for index, config in enumerate(users)
@@ -424,6 +426,12 @@ class MacCell:
         block, received = packet.tx.send_next_block()
         state.symbols_granted += block.n_symbols
         self.scheduler.on_grant(state.index, block.n_symbols, now)
+        if self._tel.enabled:
+            self._tel.counter("mac.grants", scheduler=self.scheduler.name)
+            self._tel.observe("mac.grant_symbols", block.n_symbols)
+            chosen = next(v for v in views if v.user == choice)
+            if chosen.csi_db == chosen.csi_db:  # NaN when the scheduler is CSI-blind
+                self._tel.observe("mac.granted_csi_db", chosen.csi_db)
         arrival = now + block.n_symbols
         self.busy_until = arrival
         self._on_air = packet
@@ -455,6 +463,10 @@ class MacCell:
         else:
             state.queue.remove(packet)
         self.closed_at = max(self.closed_at, self.clock.now)
+        if self._tel.enabled:
+            self._tel.counter(
+                "mac.packets", outcome="delivered" if delivered else "dropped"
+            )
         if delivered:
             bits = state.config.link.payload_bits
             state.bits_delivered += bits

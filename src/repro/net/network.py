@@ -67,6 +67,7 @@ from repro.mac.schedulers import make_scheduler
 from repro.net.fastpath import FlowLink, SymbolCountModel, cached_symbol_model
 from repro.net.geometry import CityGeometry
 from repro.net.mobility import MobilityModel
+from repro.obs.telemetry import current as current_telemetry
 from repro.phy.families import bpsk_crossover_probability, channel_for_code, make_code
 from repro.phy.session import CodecSession
 from repro.utils.bitops import random_message_bits
@@ -350,7 +351,9 @@ class CellNetwork:
             if config.epoch_symbols != 0:
                 raise ValueError("restrict_to_cell requires mobility off")
         self.restrict_to_cell = restrict_to_cell
+        self._tel = current_telemetry()
         self.clock = EventScheduler()
+        self._tel.bind_clock(self.clock)
         self.geometry = config.geometry()
         self.mobility = mobility if mobility is not None else self._build_mobility()
         if self.mobility.n_users != config.n_users:
@@ -521,7 +524,10 @@ class CellNetwork:
             # No active interferers: return the serving SNR *unchanged* (no
             # dB round-trip), so interference-free degenerates bit-exactly.
             return signal_db
-        return linear_to_db(db_to_linear(signal_db) / (1.0 + total))
+        sinr_db = linear_to_db(db_to_linear(signal_db) / (1.0 + total))
+        if self._tel.enabled:
+            self._tel.observe("net.sinr_db", sinr_db)
+        return sinr_db
 
     # -- mobility / handoff --------------------------------------------------
     def _unfinished(self) -> bool:
@@ -529,6 +535,8 @@ class CellNetwork:
 
     def _on_epoch(self) -> None:
         self.epoch += 1
+        if self._tel.enabled:
+            self._tel.counter("net.epochs")
         self._snr_cache.clear()
         self._signal_cache.clear()
         n_users = self.config.n_users
@@ -569,6 +577,8 @@ class CellNetwork:
             # The user's own block is on the air: hand off at the block
             # boundary (after the block lands, before any new grant).
             self.n_deferred_handoffs += 1
+            if self._tel.enabled:
+                self._tel.counter("net.handoffs_deferred")
             if not self._pending_handoff[user]:
                 self._pending_handoff[user] = True
                 self.clock.schedule(
@@ -590,6 +600,8 @@ class CellNetwork:
         self.cells[target].attach_state(state)
         self.n_handoffs += 1
         self.handoff_counts[user] += 1
+        if self._tel.enabled:
+            self._tel.counter("net.handoffs")
 
     # -- driving -------------------------------------------------------------
     def _event_budget(self) -> int:

@@ -1,0 +1,57 @@
+"""Observability: bit-transparent telemetry, exporters, and report rendering.
+
+Enable with :func:`set_current` *before* constructing the simulation objects
+to observe (the CLI's ``--telemetry <dir>`` flag does this), run as usual,
+then :func:`write_all` the snapshot::
+
+    from repro.obs import Telemetry, set_current, write_all
+
+    set_current(Telemetry())
+    result = run_soak(config)           # byte-identical to the untraced run
+    write_all(current(), "obs-out")     # telemetry.jsonl / trace.json / metrics.prom
+
+The enabled path never perturbs an rng draw, event ordering, or numeric
+result — ``tests/test_obs.py`` pins byte-identical delivery logs and
+experiment stores for telemetry on vs off.
+"""
+
+from repro.obs.exporters import (
+    JSONL_SCHEMA,
+    export_chrome_trace,
+    export_jsonl,
+    export_prometheus,
+    validate_chrome_trace,
+    validate_directory,
+    validate_jsonl,
+    validate_prometheus,
+    write_all,
+)
+from repro.obs.report import load_jsonl, render_report
+from repro.obs.telemetry import (
+    NULL_TELEMETRY,
+    NullTelemetry,
+    Telemetry,
+    current,
+    default_buckets,
+    set_current,
+)
+
+__all__ = [
+    "JSONL_SCHEMA",
+    "NULL_TELEMETRY",
+    "NullTelemetry",
+    "Telemetry",
+    "current",
+    "default_buckets",
+    "export_chrome_trace",
+    "export_jsonl",
+    "export_prometheus",
+    "load_jsonl",
+    "render_report",
+    "set_current",
+    "validate_chrome_trace",
+    "validate_directory",
+    "validate_jsonl",
+    "validate_prometheus",
+    "write_all",
+]

@@ -1,0 +1,114 @@
+"""Terminal renderer for a ``telemetry.jsonl`` event stream.
+
+``repro obs report <file>`` turns an exported snapshot back into the
+human-readable views the exporters flattened away: a counters/gauges table,
+per-histogram summaries with an :func:`~repro.utils.asciiplot.ascii_plot`
+bucket chart (the same renderer the experiment reports use), and a span
+roll-up (call count, total and mean wall-clock per span name).
+"""
+
+from __future__ import annotations
+
+import json
+from collections import defaultdict
+from pathlib import Path
+
+from repro.utils.asciiplot import ascii_plot
+
+__all__ = ["load_jsonl", "render_report"]
+
+
+def load_jsonl(path: str | Path) -> dict[str, list[dict]]:
+    """Parse a ``telemetry.jsonl`` file into records grouped by kind."""
+    groups: dict[str, list[dict]] = defaultdict(list)
+    for line in Path(path).read_text().splitlines():
+        record = json.loads(line)
+        groups[record["kind"]].append(record)
+    return dict(groups)
+
+
+def _label_suffix(labels: dict) -> str:
+    if not labels:
+        return ""
+    return "{" + ",".join(f"{k}={v}" for k, v in sorted(labels.items())) + "}"
+
+
+def _histogram_chart(record: dict) -> str:
+    """ASCII bucket chart for one histogram (text fallback when degenerate).
+
+    ``ascii_plot`` needs at least two x points; histograms whose mass sits
+    in a single bucket are summarised textually instead.
+    """
+    occupied = [b for b in record["buckets"] if b["count"]]
+    if len(occupied) < 2:
+        return ""
+    bounds = [float(b["le"]) for b in occupied if b["le"] != "inf"]
+    counts = [float(b["count"]) for b in occupied if b["le"] != "inf"]
+    if len(bounds) < 2:
+        return ""
+    return ascii_plot(
+        bounds,
+        {"count": counts},
+        x_label="bucket upper bound",
+        y_label="observations",
+        connect=True,
+    )
+
+
+def render_report(path: str | Path) -> str:
+    """Render the full report for one ``telemetry.jsonl`` file."""
+    groups = load_jsonl(path)
+    out: list[str] = []
+
+    scalars = groups.get("counter", []) + groups.get("gauge", [])
+    if scalars:
+        out.append("== counters / gauges ==")
+        width = max(
+            len(r["name"] + _label_suffix(r["labels"])) for r in scalars
+        )
+        for record in scalars:
+            label = record["name"] + _label_suffix(record["labels"])
+            value = record["value"]
+            rendered = f"{value:g}" if isinstance(value, float) else str(value)
+            out.append(f"  {label:<{width}}  {rendered:>12}")
+
+    for record in groups.get("histogram", []):
+        label = record["name"] + _label_suffix(record["labels"])
+        out.append("")
+        out.append(f"== histogram {label} ==")
+        if record["count"]:
+            mean = record["sum"] / record["count"]
+            out.append(
+                f"  count {record['count']}  sum {record['sum']:g}  "
+                f"mean {mean:g}  min {record['min']:g}  max {record['max']:g}"
+            )
+        else:
+            out.append("  (no observations)")
+        chart = _histogram_chart(record)
+        if chart:
+            out.append(chart)
+        else:
+            for bucket in record["buckets"]:
+                if bucket["count"]:
+                    out.append(f"  le {bucket['le']:>8}: {bucket['count']}")
+
+    spans = groups.get("span", [])
+    if spans:
+        rollup: dict[str, list[float]] = defaultdict(list)
+        for span in spans:
+            rollup[span["name"]].append(span["dur_us"])
+        out.append("")
+        out.append("== spans (wall-clock roll-up) ==")
+        width = max(len(name) for name in rollup)
+        for name in sorted(rollup):
+            durations = rollup[name]
+            total = sum(durations)
+            out.append(
+                f"  {name:<{width}}  n={len(durations):<6d} "
+                f"total {total / 1e3:10.3f} ms  "
+                f"mean {total / len(durations):10.1f} us"
+            )
+
+    if not out:
+        return "(telemetry file contains no records)"
+    return "\n".join(out)

@@ -1,0 +1,336 @@
+"""Bit-transparent telemetry: counters, gauges, histograms, and spans.
+
+The stack spans six layers (vectorized decoder, PHY codec sessions, link
+transport, MAC cells, the city-scale network, and the serve reactor), and
+until now the only visibility into a run was each subsystem's terminal
+result dataclass.  This module is the shared sink those layers report into:
+a registry of **counters**, **gauges**, and **fixed-bucket histograms**
+keyed by ``(name, labels)``, plus a **span** API that stamps timed sections
+with both the :class:`~repro.link.events.EventScheduler` symbol-time clock
+and wall-clock.
+
+Two contracts make it safe to leave the instrumentation in the hot paths:
+
+* **Zero cost when disabled.**  The process-global sink defaults to
+  :data:`NULL_TELEMETRY`, a no-op singleton whose ``enabled`` flag is
+  ``False``.  Instrumented classes capture :func:`current` once at
+  construction and guard multi-stat blocks with ``if tel.enabled:`` — the
+  disabled path is one attribute read per seam, never per symbol.
+  Telemetry must therefore be installed (:func:`set_current`) *before*
+  constructing the simulation objects it should observe; the CLI does this.
+
+* **Bit-transparency.**  The registry never draws from any rng, never
+  schedules or cancels events, and never touches simulation numeric state —
+  it only *reads* the scheduler clock through the read-only
+  :attr:`~repro.link.events.EventScheduler.now` accessor.  Differential
+  tests (``tests/test_obs.py``) pin that telemetry-on and telemetry-off
+  runs are byte-identical on delivery logs and persisted experiment stores.
+
+Metric names follow a ``layer.metric`` scheme (``decoder.cache_hits``,
+``phy.symbols_to_decode``, ``serve.queue_depth``); span names follow the
+same scheme (``decoder.decode``, ``serve.flush``).  Exporters
+(:mod:`repro.obs.exporters`) turn a snapshot into a JSONL event stream, a
+Chrome ``trace_event`` timeline, and a Prometheus-style text page — all
+deterministic given a fixed ``wall_clock`` source.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+import time
+from typing import Callable, Iterator, Mapping, Sequence
+
+__all__ = [
+    "NullTelemetry",
+    "Telemetry",
+    "NULL_TELEMETRY",
+    "current",
+    "set_current",
+    "default_buckets",
+]
+
+#: ``(name, sorted label items)`` — the registry key for every metric.
+_Key = tuple[str, tuple[tuple[str, str], ...]]
+
+
+def _key(name: str, labels: Mapping[str, object]) -> _Key:
+    if not labels:
+        return (name, ())
+    return (name, tuple(sorted((k, str(v)) for k, v in labels.items())))
+
+
+def default_buckets(name: str) -> tuple[float, ...]:
+    """Fixed histogram bounds chosen from the metric name's unit suffix.
+
+    Bounds are upper edges (Prometheus ``le`` semantics) and always end in
+    ``+inf``.  ``*_s`` metrics are wall-clock seconds (geometric from 1 µs),
+    ``*_db`` metrics are decibel samples (linear 5 dB steps), everything
+    else is a non-negative count (powers of two) — which covers symbol
+    counts, batch widths, and queue depths without per-site configuration.
+    """
+    if name.endswith("_s"):
+        return tuple(1e-6 * 4**i for i in range(12)) + (math.inf,)
+    if name.endswith("_db"):
+        return tuple(float(b) for b in range(-30, 50, 5)) + (math.inf,)
+    return tuple(float(2**i) for i in range(17)) + (math.inf,)
+
+
+class _Histogram:
+    """Fixed-bucket histogram with count/sum/min/max sidecars."""
+
+    __slots__ = ("bounds", "counts", "count", "sum", "min", "max")
+
+    def __init__(self, bounds: Sequence[float]) -> None:
+        self.bounds = tuple(bounds)
+        self.counts = [0] * len(self.bounds)
+        self.count = 0
+        self.sum = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect.bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.sum += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+
+class _Span:
+    """One timed section: wall-clock duration plus symbol-time endpoints.
+
+    Used as a context manager; the record is appended to the owning
+    :class:`Telemetry` on exit.  ``__slots__`` keeps per-span allocation to
+    one small object — spans wrap per-flush / per-decode work, never
+    per-symbol work.
+    """
+
+    __slots__ = ("_tel", "name", "labels", "_t0", "_sym0")
+
+    def __init__(self, tel: "Telemetry", name: str, labels: Mapping[str, object]) -> None:
+        self._tel = tel
+        self.name = name
+        self.labels = labels
+
+    def __enter__(self) -> "_Span":
+        self._t0 = self._tel._wall()
+        self._sym0 = self._tel.symbol_time()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        tel = self._tel
+        t1 = tel._wall()
+        tel.spans.append(
+            {
+                "name": self.name,
+                "labels": {k: str(v) for k, v in sorted(self.labels.items())},
+                "ts_us": (self._t0 - tel._t0) * 1e6,
+                "dur_us": (t1 - self._t0) * 1e6,
+                "t_sym": self._sym0,
+                "t_sym_end": tel.symbol_time(),
+            }
+        )
+        return False
+
+
+class _NullSpan:
+    """Reusable no-op span: entering and exiting allocates nothing."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTelemetry:
+    """The disabled sink: every method is a no-op, ``enabled`` is ``False``.
+
+    Hot paths gate on :attr:`enabled` (one attribute read); colder seams may
+    simply call the methods, which discard their arguments without touching
+    any state.  The singleton is shared process-wide, so disabled runs are
+    observationally identical to runs with no instrumentation at all.
+    """
+
+    __slots__ = ()
+    enabled = False
+
+    def counter(self, name: str, value: float = 1, **labels: object) -> None:
+        pass
+
+    def gauge(self, name: str, value: float, **labels: object) -> None:
+        pass
+
+    def observe(self, name: str, value: float, **labels: object) -> None:
+        pass
+
+    def span(self, name: str, **labels: object) -> _NullSpan:
+        return _NULL_SPAN
+
+    def bind_clock(self, clock: object) -> None:
+        pass
+
+    def symbol_time(self) -> int:
+        return -1
+
+    def now_s(self) -> float:
+        """Wall-clock reading for duration math (0.0 when disabled)."""
+        return 0.0
+
+
+NULL_TELEMETRY = NullTelemetry()
+
+
+class Telemetry(NullTelemetry):
+    """The enabled sink: a registry of metrics keyed by ``(name, labels)``.
+
+    ``wall_clock`` is injectable so the exporter outputs can be made fully
+    deterministic in tests (the default is :func:`time.perf_counter`).
+    Symbol time is read from whatever scheduler was last handed to
+    :meth:`bind_clock`; before any clock is bound (or after a simulation
+    without one) spans and events stamp ``t_sym = -1``.
+    """
+
+    __slots__ = (
+        "counters", "gauges", "histograms", "spans",
+        "_wall", "_t0", "_clock", "_buckets",
+    )
+    enabled = True
+
+    def __init__(self, wall_clock: Callable[[], float] = time.perf_counter) -> None:
+        self.counters: dict[_Key, float] = {}
+        self.gauges: dict[_Key, float] = {}
+        self.histograms: dict[_Key, _Histogram] = {}
+        self.spans: list[dict] = []
+        self._wall = wall_clock
+        self._t0 = wall_clock()
+        self._clock = None
+        self._buckets: dict[str, tuple[float, ...]] = {}
+
+    # -- clock ---------------------------------------------------------------
+    def bind_clock(self, clock: object) -> None:
+        """Stamp subsequent spans/events with ``clock.now`` symbol time.
+
+        ``clock`` is read through its public read-only ``now`` accessor and
+        never mutated; binding a new scheduler (each engine run builds its
+        own) simply re-points the stamp source.
+        """
+        self._clock = clock
+
+    def symbol_time(self) -> int:
+        clock = self._clock
+        return int(clock.now) if clock is not None else -1
+
+    def now_s(self) -> float:
+        """The registry's wall clock (injectable; relative to construction)."""
+        return self._wall() - self._t0
+
+    # -- metrics -------------------------------------------------------------
+    def counter(self, name: str, value: float = 1, **labels: object) -> None:
+        key = _key(name, labels)
+        self.counters[key] = self.counters.get(key, 0) + value
+
+    def gauge(self, name: str, value: float, **labels: object) -> None:
+        self.gauges[_key(name, labels)] = value
+
+    def set_buckets(self, name: str, bounds: Sequence[float]) -> None:
+        """Override histogram bounds for ``name`` (before first observation).
+
+        Bounds must be strictly increasing; a ``+inf`` top edge is appended
+        when missing so no observation is ever dropped.
+        """
+        bounds = tuple(float(b) for b in bounds)
+        if any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
+            raise ValueError(f"histogram bounds must be increasing: {bounds}")
+        if not bounds or bounds[-1] != math.inf:
+            bounds = bounds + (math.inf,)
+        self._buckets[name] = bounds
+
+    def observe(self, name: str, value: float, **labels: object) -> None:
+        key = _key(name, labels)
+        hist = self.histograms.get(key)
+        if hist is None:
+            bounds = self._buckets.get(name)
+            if bounds is None:
+                bounds = default_buckets(name)
+            hist = self.histograms[key] = _Histogram(bounds)
+        hist.observe(float(value))
+
+    def span(self, name: str, **labels: object) -> _Span:
+        return _Span(self, name, labels)
+
+    # -- snapshot ------------------------------------------------------------
+    def histogram_counts(self, name: str, **labels: object) -> dict[float, int]:
+        """``{upper bound: count}`` for one histogram (empty if unobserved)."""
+        hist = self.histograms.get(_key(name, labels))
+        if hist is None:
+            return {}
+        return dict(zip(hist.bounds, hist.counts))
+
+    def counter_value(self, name: str, **labels: object) -> float:
+        return self.counters.get(_key(name, labels), 0)
+
+    def snapshot(self) -> dict:
+        """Deterministically ordered export of every metric and span.
+
+        Metric entries are sorted by ``(name, labels)``; spans stay in
+        record order (they are already ordered by wall-clock start).  This
+        is the single structure all three exporters consume.
+        """
+        return {
+            "counters": [
+                {"name": name, "labels": dict(labels), "value": value}
+                for (name, labels), value in sorted(self.counters.items())
+            ],
+            "gauges": [
+                {"name": name, "labels": dict(labels), "value": value}
+                for (name, labels), value in sorted(self.gauges.items())
+            ],
+            "histograms": [
+                {
+                    "name": name,
+                    "labels": dict(labels),
+                    "buckets": [
+                        {"le": bound, "count": count}
+                        for bound, count in zip(hist.bounds, hist.counts)
+                    ],
+                    "count": hist.count,
+                    "sum": hist.sum,
+                    "min": hist.min if hist.count else None,
+                    "max": hist.max if hist.count else None,
+                }
+                for (name, labels), hist in sorted(self.histograms.items())
+            ],
+            "spans": list(self.spans),
+        }
+
+
+#: The process-global sink every instrumented constructor captures.
+_CURRENT: NullTelemetry = NULL_TELEMETRY
+
+
+def current() -> NullTelemetry:
+    """The active telemetry sink (the no-op singleton unless one was set)."""
+    return _CURRENT
+
+
+def set_current(telemetry: NullTelemetry | None) -> NullTelemetry:
+    """Install ``telemetry`` as the process-global sink; return the previous.
+
+    Pass ``None`` to restore the disabled singleton.  Install *before*
+    constructing engines/networks/sessions — instrumented classes capture
+    :func:`current` once at construction time, which is what keeps the
+    disabled path down to a single cached-attribute check.
+    """
+    global _CURRENT
+    previous = _CURRENT
+    _CURRENT = telemetry if telemetry is not None else NULL_TELEMETRY
+    return previous

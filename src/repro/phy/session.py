@@ -28,6 +28,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.channels.base import Channel
+from repro.obs.telemetry import current as current_telemetry
 from repro.phy.protocol import DecodeStatus, RatelessCode
 
 __all__ = ["CodecSession", "CodecTransmission", "CodecResult", "TERMINATIONS"]
@@ -103,6 +104,10 @@ class CodecTransmission:
         self.decode_attempts = 0
         self.work = 0
         self.last_status: DecodeStatus | None = None
+        self._tel = current_telemetry()
+        # Subpass blocks absorbed since the last decode attempt (telemetry
+        # only; stays 0 when the sink is disabled).
+        self._blocks_since_attempt = 0
 
     @property
     def exhausted(self) -> bool:
@@ -152,6 +157,10 @@ class CodecTransmission:
             )
         status = self.decoder.absorb(block, received_values, attempt=attempt)
         self.symbols_delivered += block.n_symbols
+        if self._tel.enabled:
+            self._tel.counter("phy.blocks_delivered")
+            self._tel.counter("phy.symbols_delivered", block.n_symbols)
+            self._blocks_since_attempt += 1
         self._record(status)
         return self.decoded
 
@@ -199,6 +208,14 @@ class CodecTransmission:
         self.last_status = status
         if self._terminated(status):
             self.decoded = True
+        tel = self._tel
+        if tel.enabled:
+            tel.counter("phy.decode_attempts")
+            tel.observe("phy.blocks_per_attempt", self._blocks_since_attempt)
+            self._blocks_since_attempt = 0
+            if self.decoded:
+                # The paper's core statistic: channel uses needed to decode.
+                tel.observe("phy.symbols_to_decode", self.symbols_delivered)
 
     def _terminated(self, status: DecodeStatus) -> bool:
         if self.session.termination == "genie":

@@ -61,6 +61,7 @@ from repro.link.events import (
     PRIORITY_BLOCK,
     PRIORITY_SEND,
 )
+from repro.obs.telemetry import current as current_telemetry
 from repro.phy.protocol import DecodeStatus
 from repro.phy.session import CodecResult, CodecSession, CodecTransmission
 from repro.phy.spinal import SpinalCode
@@ -173,6 +174,10 @@ class SoakResult:
     batched_sessions: int
     #: Largest single decode batch.
     max_batch_sessions: int
+    #: ``(tick, backlog depth)`` after every FIFO length change — the full
+    #: queue-depth trajectory behind :attr:`peak_queue_depth` (whose value
+    #: must equal the series maximum; pinned in ``tests/test_serve.py``).
+    queue_depth_series: tuple[tuple[int, int], ...] = ()
 
     # -- aggregates ----------------------------------------------------------
     @property
@@ -440,6 +445,7 @@ class SoakEngine:
 
     def __init__(self, config: SoakConfig) -> None:
         self.config = config
+        self._tel = current_telemetry()
         params = SpinalParams(k=config.k, c=config.c)
         self.framer = Framer(payload_bits=config.payload_bits, k=config.k)
         self.channel = AWGNChannel(
@@ -471,10 +477,13 @@ class SoakEngine:
     def run(self) -> SoakResult:
         config = self.config
         clock = EventScheduler()
+        tel = self._tel
+        tel.bind_clock(clock)
         pool = _SymbolBufferPool(config.max_in_flight, self.framer.n_segments)
         pending: deque[_Flight] = deque()
         staged: list[_Flight] = []
         deliveries: list[SessionDelivery] = []
+        queue_series: list[tuple[int, int]] = []
         state = {
             "in_flight": 0,
             "peak_in_flight": 0,
@@ -489,6 +498,7 @@ class SoakEngine:
         def admit_ready() -> None:
             while pending and state["in_flight"] < config.max_in_flight:
                 flight = pending.popleft()
+                queue_series.append((clock.now, len(pending)))
                 flight.admitted = clock.now
                 state["in_flight"] += 1
                 state["peak_in_flight"] = max(
@@ -514,7 +524,11 @@ class SoakEngine:
 
         def arrive(flight: _Flight) -> None:
             pending.append(flight)
+            queue_series.append((clock.now, len(pending)))
             state["peak_queue"] = max(state["peak_queue"], len(pending))
+            if tel.enabled:
+                tel.gauge("serve.queue_depth", len(pending))
+                tel.observe("serve.queue_depth_samples", len(pending))
             admit_ready()
 
         def send(flight: _Flight) -> None:
@@ -535,6 +549,9 @@ class SoakEngine:
             arrived, staged[:] = list(staged), []
             state["flush_scheduled"] = False
             state["n_flushes"] += 1
+            if tel.enabled:
+                tel.counter("serve.flushes")
+                tel.observe("serve.flush_blocks", len(arrived))
             attempters: list[_Flight] = []
             for flight in arrived:
                 flight.tx.deliver(flight.block, flight.received, attempt=False)
@@ -567,26 +584,29 @@ class SoakEngine:
         def decode_stage(attempters: list[_Flight]) -> list[DecodeStatus]:
             stores = [f.tx.decoder.observations for f in attempters]
             members = [f.index for f in attempters]
-            if config.batching:
-                results = self.batch.decode_subset(
-                    self.framer.framed_bits, stores, members
-                )
-                state["n_batches"] += 1
-                state["batched"] += len(members)
-                state["max_batch"] = max(state["max_batch"], len(members))
-            else:
-                # The sequential driver: identical kernels and event
-                # schedule, but every session decodes in its own batch of
-                # one — the baseline that isolates the batching win.
-                results = [
-                    self.batch.decode_subset(
-                        self.framer.framed_bits, [store], [member]
-                    )[0]
-                    for store, member in zip(stores, members)
-                ]
-                state["n_batches"] += len(members)
-                state["batched"] += len(members)
-                state["max_batch"] = max(state["max_batch"], 1)
+            with tel.span("serve.decode_batch", width=len(members)):
+                if config.batching:
+                    results = self.batch.decode_subset(
+                        self.framer.framed_bits, stores, members
+                    )
+                    state["n_batches"] += 1
+                    state["batched"] += len(members)
+                    state["max_batch"] = max(state["max_batch"], len(members))
+                else:
+                    # The sequential driver: identical kernels and event
+                    # schedule, but every session decodes in its own batch of
+                    # one — the baseline that isolates the batching win.
+                    results = [
+                        self.batch.decode_subset(
+                            self.framer.framed_bits, [store], [member]
+                        )[0]
+                        for store, member in zip(stores, members)
+                    ]
+                    state["n_batches"] += len(members)
+                    state["batched"] += len(members)
+                    state["max_batch"] = max(state["max_batch"], 1)
+            if tel.enabled:
+                tel.observe("serve.batch_width", len(members))
             framer = self.framer
             return [
                 DecodeStatus(
@@ -625,6 +645,11 @@ class SoakEngine:
                     work=tx.work,
                 )
             )
+            if tel.enabled:
+                tel.counter(
+                    "serve.sessions", outcome="delivered" if success else "failed"
+                )
+                tel.observe("serve.latency", flight.completed - flight.arrival)
             admit_ready()
 
         for i in range(config.n_sessions):
@@ -647,6 +672,7 @@ class SoakEngine:
             n_decode_batches=state["n_batches"],
             batched_sessions=state["batched"],
             max_batch_sessions=state["max_batch"],
+            queue_depth_series=tuple(queue_series),
         )
 
 

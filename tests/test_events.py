@@ -158,6 +158,39 @@ class TestRunUntil:
         assert stepped_log == straight_log
 
 
+class TestReadOnlyAccessors:
+    """``now``/``n_processed`` are observation-only: telemetry reads them
+    to stamp spans, so external writes must be impossible."""
+
+    def test_now_is_read_only(self):
+        scheduler = EventScheduler()
+        with pytest.raises(AttributeError):
+            scheduler.now = 99
+        assert scheduler.now == 0
+
+    def test_n_processed_is_read_only(self):
+        scheduler = EventScheduler()
+        with pytest.raises(AttributeError):
+            scheduler.n_processed = 99
+        assert scheduler.n_processed == 0
+
+    def test_n_processed_counts_only_fired_events(self):
+        scheduler = EventScheduler()
+        cancelled = scheduler.schedule(1, PRIORITY_SEND, lambda: None)
+        scheduler.schedule(2, PRIORITY_SEND, lambda: None)
+        scheduler.schedule(3, PRIORITY_ACK, lambda: None)
+        cancelled.cancel()
+        scheduler.run()
+        assert scheduler.n_processed == 2
+        assert scheduler.now == 3
+
+    def test_run_until_advances_clock_without_processing(self):
+        scheduler = EventScheduler()
+        scheduler.run_until(25)
+        assert scheduler.now == 25
+        assert scheduler.n_processed == 0
+
+
 class TestNextTime:
     def test_empty_scheduler_has_no_next_time(self):
         assert EventScheduler().next_time() is None

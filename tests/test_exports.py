@@ -29,6 +29,7 @@ PUBLIC_PACKAGES = (
     "repro.mac",
     "repro.serve",
     "repro.net",
+    "repro.obs",
 )
 
 

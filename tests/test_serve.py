@@ -111,6 +111,31 @@ class TestBackpressure:
             assert d.arrival <= d.admitted <= d.completed
             assert d.queue_wait >= 0
 
+    @pytest.mark.parametrize(
+        "n_sessions,max_in_flight,arrival_spacing",
+        [(24, 1, 0), (24, 5, 0), (16, 3, 4)],
+    )
+    def test_queue_depth_series_peak_matches_scalar(
+        self, n_sessions, max_in_flight, arrival_spacing
+    ):
+        """The time series is the scalar's provenance: peak == max(series)."""
+        result = run_soak(
+            _replace(
+                _BASE,
+                n_sessions=n_sessions,
+                max_in_flight=max_in_flight,
+                arrival_spacing=arrival_spacing,
+            )
+        )
+        series = result.queue_depth_series
+        assert series, "every soak with queued arrivals records samples"
+        assert result.peak_queue_depth == max(d for _, d in series)
+        ticks = [t for t, _ in series]
+        assert ticks == sorted(ticks)
+        assert all(0 <= depth <= n_sessions for _, depth in series)
+        # The queue always drains by the end of the soak.
+        assert series[-1][1] == 0
+
     def test_admission_is_fifo(self):
         """Arrival order (session index at spacing 0) is admission order."""
         result = run_soak(_replace(_BASE, max_in_flight=3))
