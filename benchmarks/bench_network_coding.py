@@ -1,0 +1,102 @@
+"""E20: medium uses saved by XOR two-way relaying over rateless codes.
+
+The network-coding claim, measured: a two-way exchange through a relay
+costs three rateless phases with XOR coding (two uplinks plus *one*
+broadcast downlink both endpoints decode and un-XOR) versus the four
+phases of two one-way exchanges.  At a symmetric operating point every
+phase costs the same symbols — the shared-code-seed fairness discipline
+of :mod:`repro.netcode.twoway` — so the ideal saving is exactly 25% of
+total medium uses, and the per-family pins below assert the measured
+symbol counts, not just the ratio.
+
+Asserted for the spinal *and* LT families:
+
+* the XOR scheme uses **strictly fewer** total medium uses than two
+  one-way exchanges at symmetric SNR;
+* the pinned (xor, baseline) symbol counts at the fixed operating point,
+  hence the pinned gain ratio (>= 25% in both modes);
+* both schemes deliver every round.
+
+The summary is written to ``network_coding_summary.json`` at the
+repository root for the CI artifact.  The pytest-benchmark fixture wraps
+the full exchange sweep, so the harness doubles as a performance
+regression test for the netcode layer.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+from _bench_utils import bench_smoke
+from repro.netcode import TwoWayConfig, run_two_way_exchange
+
+SEED = 20111114
+_SUMMARY_PATH = (
+    pathlib.Path(__file__).resolve().parent.parent / "network_coding_summary.json"
+)
+
+# (snr_db, rounds, smoke codes) and the pinned {family: (xor, baseline)}
+# medium-use totals at that operating point.
+_SMOKE_POINT = (33.0, 4, True, {"spinal": (30, 40), "lt": (864, 1152)})
+_FULL_POINT = (30.0, 4, False, {"spinal": (38, 52), "lt": (1008, 1344)})
+
+
+def _operating_point():
+    return _SMOKE_POINT if bench_smoke() else _FULL_POINT
+
+
+def _run_families(snr_db: float, rounds: int, smoke: bool) -> dict:
+    results = {}
+    for family in ("spinal", "lt"):
+        config = TwoWayConfig(
+            family=family,
+            snr_a_db=snr_db,
+            snr_b_db=snr_db,
+            rounds=rounds,
+            seed=SEED,
+            smoke=smoke,
+        )
+        results[family] = run_two_way_exchange(config)
+    return results
+
+
+def test_two_way_xor_gain(benchmark, reporter):
+    snr_db, rounds, smoke, pins = _operating_point()
+    results = benchmark(_run_families, snr_db, rounds, smoke)
+
+    summary = {"snr_db": snr_db, "rounds": rounds, "smoke_codes": smoke}
+    for family, result in results.items():
+        assert result.xor_delivery_rate == 1.0, family
+        assert result.baseline_delivery_rate == 1.0, family
+        # The headline claim: strictly cheaper than two one-way exchanges.
+        assert result.xor_total_uses < result.baseline_total_uses, family
+        xor_pin, baseline_pin = pins[family]
+        assert result.xor_total_uses == xor_pin, (family, result.xor_total_uses)
+        assert result.baseline_total_uses == baseline_pin, (
+            family,
+            result.baseline_total_uses,
+        )
+        assert result.medium_use_saving >= 0.25, (family, result.medium_use_saving)
+        summary[family] = {
+            "xor_uses": result.xor_total_uses,
+            "baseline_uses": result.baseline_total_uses,
+            "saving": round(result.medium_use_saving, 4),
+            "downlink_saving": round(result.downlink_saving, 4),
+        }
+    _SUMMARY_PATH.write_text(json.dumps(summary, indent=2, sort_keys=True) + "\n")
+
+    rows = "\n".join(
+        f"{family:>8}: xor={summary[family]['xor_uses']:>5}  "
+        f"baseline={summary[family]['baseline_uses']:>5}  "
+        f"saving={summary[family]['saving']:.4f}  "
+        f"downlink_saving={summary[family]['downlink_saving']:.4f}"
+        for family in ("spinal", "lt")
+    )
+    reporter.add(
+        "Network-coding gain (E20) — XOR two-way relaying vs two one-way exchanges",
+        f"operating point: snr={snr_db} dB, rounds={rounds}, "
+        f"smoke_codes={smoke}\n{rows}\n"
+        "(three equal-cost phases instead of four: ideal saving 0.25; the\n"
+        "broadcast downlink replaces two unicasts: ideal downlink saving 0.5)",
+    )

@@ -69,6 +69,14 @@ from repro.core import (
     TrialResult,
     TruncatedGaussianConstellation,
 )
+from repro.netcode import (
+    MulticastTreeConfig,
+    TwoWayConfig,
+    broadcast_transmission,
+    run_multicast_tree,
+    run_two_way_af_exchange,
+    run_two_way_exchange,
+)
 from repro.phy import (
     CODE_FAMILY_NAMES,
     CodeInfo,
@@ -129,5 +137,11 @@ __all__ = [
     "channel_for_code",
     "make_code",
     "make_codec_session",
+    "MulticastTreeConfig",
+    "TwoWayConfig",
+    "broadcast_transmission",
+    "run_multicast_tree",
+    "run_two_way_af_exchange",
+    "run_two_way_exchange",
     "__version__",
 ]

@@ -37,12 +37,20 @@ choice of fidelity tier (bit-exact PHY or the calibrated flow fast path),
 optionally fanning seed-independent replicas across worker processes
 (``--json`` emits the machine-readable summary the CI smoke job archives).
 
-``run``, ``serve-soak`` and ``city-soak`` accept ``--telemetry DIR``: the
-bit-transparent sink (``repro.obs``) is installed before the simulation is
-constructed and a snapshot is exported to ``DIR`` afterwards (JSONL event
-stream, Chrome ``trace_event`` timeline, Prometheus text page).  ``obs
-report`` renders a saved JSONL stream as tables and ASCII histograms;
-``obs check`` validates the three exporter files in a directory.
+``mesh`` drives the network-coding subsystem (``repro.netcode`` and the DAG
+layer of ``repro.link.topology``): a two-way XOR relay exchange, the
+butterfly DAG, or a multicast tree, reporting coded-vs-plain medium uses
+(``--json`` emits the machine-readable summary the CI smoke job archives).
+
+``run``, ``serve-soak``, ``city-soak`` and ``mesh`` accept ``--telemetry
+DIR``: the bit-transparent sink (``repro.obs``) is installed before the
+simulation is constructed and a snapshot is exported to ``DIR`` afterwards
+(JSONL event stream, Chrome ``trace_event`` timeline, Prometheus text
+page).  Adding ``--telemetry-stream`` flushes each span to
+``DIR/spans.part.jsonl`` the moment it closes — crash-salvageable, with a
+byte-identical final export.  ``obs report`` renders a saved JSONL stream
+as tables and ASCII histograms; ``obs check`` validates the three exporter
+files in a directory.
 
 Every command prints a plain-text table (and optionally an ASCII chart), so
 the CLI is usable over ssh on a machine with nothing but this package and
@@ -84,6 +92,13 @@ def _add_telemetry_argument(parser: argparse.ArgumentParser) -> None:
         help="record counters/histograms/spans and export them to DIR "
         "(telemetry.jsonl, trace.json, metrics.prom); runs are "
         "bit-identical with or without this flag",
+    )
+    parser.add_argument(
+        "--telemetry-stream",
+        action="store_true",
+        help="stream each span to DIR/spans.part.jsonl the moment it "
+        "closes (requires --telemetry; crash-salvageable, and the final "
+        "telemetry.jsonl is byte-identical to a buffered run)",
     )
 
 
@@ -360,6 +375,58 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_telemetry_argument(city)
 
+    mesh = subparsers.add_parser(
+        "mesh",
+        help="network coding over rateless links: two-way XOR relaying, the "
+        "butterfly DAG, or a multicast tree, with medium-use accounting "
+        "against the uncoded baseline",
+    )
+    mesh.add_argument(
+        "--topology",
+        choices=("two-way", "butterfly", "tree"),
+        default="two-way",
+        help="two-way relay exchange, butterfly DAG, or multicast tree",
+    )
+    mesh.add_argument(
+        "--family", type=str, default="spinal", help="rateless code family"
+    )
+    mesh.add_argument("--snr", type=float, default=33.0, help="link SNR in dB")
+    mesh.add_argument(
+        "--snr-offset",
+        type=float,
+        default=0.0,
+        help="SNR offset of the weak side (the B link, or the butterfly "
+        "bottleneck edge) in dB",
+    )
+    mesh.add_argument(
+        "--rounds", type=int, default=4, help="payload exchanges to simulate"
+    )
+    mesh.add_argument(
+        "--depth", type=int, default=2, help="tree depth (topology=tree)"
+    )
+    mesh.add_argument(
+        "--branching", type=int, default=2, help="children per node (topology=tree)"
+    )
+    mesh.add_argument(
+        "--max-symbols", type=int, default=4096, help="per-stream abort budget"
+    )
+    mesh.add_argument("--seed", type=int, default=20111114, help="base random seed")
+    mesh.add_argument(
+        "--smoke", action="store_true", help="smoke-scale codes for CI jobs"
+    )
+    mesh.add_argument(
+        "--with-af",
+        action="store_true",
+        help="also run the amplify-and-forward two-way baseline "
+        "(two-way topology, symbol-domain families only)",
+    )
+    mesh.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the metrics summary as JSON (the CI artifact format)",
+    )
+    _add_telemetry_argument(mesh)
+
     obs = subparsers.add_parser(
         "obs", help="inspect and validate exported telemetry"
     )
@@ -400,19 +467,34 @@ class _TelemetryScope:
     one-line trailer naming the written files (empty when ``--telemetry``
     was not given), and ``__exit__`` always restores the previous sink so
     in-process callers (tests) never leak an enabled registry.
+
+    With ``stream=True`` (``--telemetry-stream``) spans are written to
+    ``DIR/spans.part.jsonl`` incrementally as they close instead of being
+    buffered; the exported ``telemetry.jsonl`` is byte-identical either
+    way, and the spill file is left behind as the crash-salvage artifact.
     """
 
-    def __init__(self, directory: str | None) -> None:
+    def __init__(self, directory: str | None, stream: bool = False) -> None:
+        if stream and directory is None:
+            raise ValueError("--telemetry-stream requires --telemetry DIR")
         self.directory = directory
+        self.stream = stream
         self.telemetry = None
         self._previous = None
         self._paths: dict[str, str] = {}
 
     def __enter__(self) -> "_TelemetryScope":
         if self.directory is not None:
+            from pathlib import Path
+
             from repro.obs.telemetry import Telemetry, set_current
 
-            self.telemetry = Telemetry()
+            if self.stream:
+                directory = Path(self.directory)
+                directory.mkdir(parents=True, exist_ok=True)
+                self.telemetry = Telemetry(span_spill=directory / "spans.part.jsonl")
+            else:
+                self.telemetry = Telemetry()
             self._previous = set_current(self.telemetry)
         return self
 
@@ -424,6 +506,7 @@ class _TelemetryScope:
             set_current(self._previous)
             if exc_type is None:
                 self._paths = write_all(self.telemetry, self.directory)
+            self.telemetry.close()
         return False
 
     def note(self) -> str:
@@ -516,7 +599,7 @@ def _command_run(args: argparse.Namespace) -> str:
     chosen = registry.names() if args.all else [args.name]
     store = None if args.no_save else RunStore(args.out)
     pieces = []
-    with _TelemetryScope(args.telemetry) as scope:
+    with _TelemetryScope(args.telemetry, stream=args.telemetry_stream) as scope:
         for name in chosen:
             experiment = registry.get(name)
             outcome = run_experiment(
@@ -733,7 +816,7 @@ def _command_serve_soak(args: argparse.Namespace) -> str:
         max_symbols=args.max_symbols,
         batching=not args.no_batching,
     )
-    with _TelemetryScope(args.telemetry) as scope:
+    with _TelemetryScope(args.telemetry, stream=args.telemetry_stream) as scope:
         engine = SoakEngine(config)
         start = time.perf_counter()
         result = engine.run()
@@ -765,7 +848,7 @@ def _command_city_soak(args: argparse.Namespace) -> str:
         epoch_symbols=args.epoch_symbols,
         interference=not args.no_interference,
     )
-    with _TelemetryScope(args.telemetry) as scope:
+    with _TelemetryScope(args.telemetry, stream=args.telemetry_stream) as scope:
         start = time.perf_counter()
         replicas = simulate_network_replicas(
             config, args.replicas, n_workers=args.workers
@@ -791,6 +874,103 @@ def _command_city_soak(args: argparse.Namespace) -> str:
             {"aggregate": aggregate, "replicas": replicas}, indent=2, sort_keys=True
         )
     rows = [(key, aggregate[key]) for key in aggregate]
+    return render_table(["metric", "value"], rows) + scope.note()
+
+
+def _command_mesh(args: argparse.Namespace) -> str:
+    import json
+
+    with _TelemetryScope(args.telemetry, stream=args.telemetry_stream) as scope:
+        if args.topology == "tree":
+            from repro.netcode import MulticastTreeConfig, run_multicast_tree
+
+            result = run_multicast_tree(
+                MulticastTreeConfig(
+                    family=args.family,
+                    depth=args.depth,
+                    branching=args.branching,
+                    snr_db=args.snr,
+                    rounds=args.rounds,
+                    seed=args.seed,
+                    smoke=args.smoke,
+                    max_symbols=args.max_symbols,
+                )
+            )
+            summary = {
+                "topology": "tree",
+                "family": args.family,
+                "snr_db": args.snr,
+                "depth": args.depth,
+                "branching": args.branching,
+                "n_leaves": result.n_leaves,
+                "rounds": args.rounds,
+                "coded_uses": result.broadcast_total,
+                "plain_uses": result.unicast_total,
+                "saving": result.medium_use_saving,
+                "delivered_coded": result.delivery_rate,
+            }
+        elif args.topology == "butterfly":
+            from repro.experiments.network_coding_gain import _butterfly_point
+
+            summary = {
+                "topology": "butterfly",
+                "family": args.family,
+                "snr_db": args.snr,
+                "snr_offset_db": args.snr_offset,
+                "rounds": args.rounds,
+                **_butterfly_point(
+                    {
+                        "family": args.family,
+                        "snr_db": args.snr,
+                        "snr_offset_db": args.snr_offset,
+                        "rounds": args.rounds,
+                        "seed": args.seed,
+                        "smoke_codes": args.smoke,
+                        "max_symbols": args.max_symbols,
+                    }
+                ),
+            }
+        else:
+            from repro.netcode import TwoWayConfig, run_two_way_exchange
+
+            config = TwoWayConfig(
+                family=args.family,
+                snr_a_db=args.snr,
+                snr_b_db=args.snr + args.snr_offset,
+                rounds=args.rounds,
+                seed=args.seed,
+                smoke=args.smoke,
+                max_symbols=args.max_symbols,
+            )
+            result = run_two_way_exchange(config)
+            summary = {
+                "topology": "two-way",
+                "family": args.family,
+                "snr_a_db": config.snr_a_db,
+                "snr_b_db": config.snr_b_db,
+                "rounds": args.rounds,
+                "coded_uses": result.xor_total_uses,
+                "plain_uses": result.baseline_total_uses,
+                "saving": result.medium_use_saving,
+                "downlink_saving": result.downlink_saving,
+                "delivered_coded": result.xor_delivery_rate,
+                "delivered_plain": result.baseline_delivery_rate,
+            }
+            if args.with_af:
+                from repro.netcode import run_two_way_af_exchange
+
+                af = run_two_way_af_exchange(config)
+                summary.update(
+                    {
+                        "af_uses": af.total_uses,
+                        "af_effective_snr_a_db": af.effective_snr_a_db,
+                        "af_effective_snr_b_db": af.effective_snr_b_db,
+                        "af_delivered": af.delivery_rate,
+                    }
+                )
+    if args.json:
+        return json.dumps(summary, indent=2, sort_keys=True)
+    rows = [(key, summary[key]) for key in summary]
     return render_table(["metric", "value"], rows) + scope.note()
 
 
@@ -831,6 +1011,7 @@ def main(argv: list[str] | None = None) -> str:
         "transport": _command_transport,
         "serve-soak": _command_serve_soak,
         "city-soak": _command_city_soak,
+        "mesh": _command_mesh,
         "obs": _command_obs,
     }
     output = commands[args.command](args)

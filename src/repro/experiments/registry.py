@@ -89,6 +89,7 @@ EXPERIMENT_MODULES = (
     "repro.experiments.cell_rateless_vs_adaptive",
     "repro.experiments.code_family_matrix",
     "repro.experiments.city_scaling",
+    "repro.experiments.network_coding_gain",
 )
 
 _REGISTRY: dict[str, "Experiment"] = {}

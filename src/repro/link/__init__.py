@@ -15,8 +15,12 @@ This package models that feedback at two levels of fidelity:
 * :mod:`repro.link.transport` — a simulated sliding-window ARQ protocol
   (go-back-N / selective-repeat, lossy delayed ACKs) whose feedback
   overhead is *measured* from protocol dynamics instead of assumed;
-* :mod:`repro.link.topology` — multi-hop decode-and-forward relay chains,
-  each hop re-encoding with a fresh hash seed on its own channel.
+* :mod:`repro.link.topology` — multi-hop decode-and-forward relay chains
+  (each hop re-encoding with a fresh hash seed on its own channel) and,
+  generalising them, validated DAG topologies — explicit node/edge specs
+  with cycle/reachability checking, butterfly and multicast-tree
+  constructors, and a pipelined mesh transport under one event clock with
+  optional XOR network coding at interior nodes.
 """
 
 from repro.link.events import EventScheduler
@@ -28,10 +32,20 @@ from repro.link.feedback import (
 )
 from repro.link.session import LinkSessionResult, deliver_packets, simulate_link_session
 from repro.link.topology import (
+    DagDelivery,
+    DagEdge,
+    DagTopology,
+    DagTransportResult,
     RelayTransportResult,
+    TopologyError,
     build_codec_relay_sessions,
+    build_dag_sessions,
     build_relay_sessions,
+    butterfly,
+    multicast_tree,
+    path_dag,
     relay_hop_params,
+    simulate_dag_transport,
     simulate_relay_transport,
 )
 from repro.link.transport import (
@@ -59,4 +73,14 @@ __all__ = [
     "build_relay_sessions",
     "relay_hop_params",
     "simulate_relay_transport",
+    "DagDelivery",
+    "DagEdge",
+    "DagTopology",
+    "DagTransportResult",
+    "TopologyError",
+    "build_dag_sessions",
+    "butterfly",
+    "multicast_tree",
+    "path_dag",
+    "simulate_dag_transport",
 ]

@@ -20,6 +20,7 @@ from repro.obs.exporters import (
     export_chrome_trace,
     export_jsonl,
     export_prometheus,
+    span_line,
     validate_chrome_trace,
     validate_directory,
     validate_jsonl,
@@ -49,6 +50,7 @@ __all__ = [
     "load_jsonl",
     "render_report",
     "set_current",
+    "span_line",
     "validate_chrome_trace",
     "validate_directory",
     "validate_jsonl",

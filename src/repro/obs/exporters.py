@@ -29,6 +29,7 @@ from pathlib import Path
 
 __all__ = [
     "JSONL_SCHEMA",
+    "span_line",
     "export_jsonl",
     "export_chrome_trace",
     "export_prometheus",
@@ -68,17 +69,38 @@ def _finitize(obj):
     return obj
 
 
+def span_line(span: dict) -> str:
+    """The canonical JSONL line for one span record (no trailing newline).
+
+    Single source of truth shared by the buffered exporter and the
+    streaming span spill (:class:`~repro.obs.telemetry.Telemetry` with
+    ``span_spill=``), which is what makes the two modes byte-identical.
+    """
+    return _dump({"kind": "span", **span})
+
+
 def export_jsonl(telemetry, path: str | Path) -> Path:
-    """Write the snapshot as one JSON object per line; return the path."""
-    snapshot = telemetry.snapshot()
+    """Write the snapshot as one JSON object per line; return the path.
+
+    If ``telemetry`` streams spans to a spill file
+    (``telemetry.span_spill_path``), the aggregate lines are emitted from
+    memory and the spill is appended verbatim — every spill line is exactly
+    :func:`span_line` output, so the result is byte-identical to a buffered
+    run's export.
+    """
+    spill = getattr(telemetry, "span_spill_path", None)
+    snapshot = telemetry.aggregates() if spill is not None else telemetry.snapshot()
     lines = [_dump({"kind": "meta", "schema": JSONL_SCHEMA})]
     for kind in ("counter", "gauge", "histogram"):
         for entry in snapshot[kind + "s"]:
             lines.append(_dump({"kind": kind, **entry}))
-    for span in snapshot["spans"]:
-        lines.append(_dump({"kind": "span", **span}))
     path = Path(path)
-    path.write_text("\n".join(lines) + "\n")
+    if spill is not None:
+        telemetry.flush_spans()
+        path.write_text("\n".join(lines) + "\n" + Path(spill).read_text())
+    else:
+        lines.extend(span_line(span) for span in snapshot["spans"])
+        path.write_text("\n".join(lines) + "\n")
     return path
 
 

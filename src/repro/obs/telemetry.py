@@ -37,8 +37,10 @@ deterministic given a fixed ``wall_clock`` source.
 from __future__ import annotations
 
 import bisect
+import json
 import math
 import time
+from pathlib import Path
 from typing import Callable, Iterator, Mapping, Sequence
 
 __all__ = [
@@ -123,7 +125,7 @@ class _Span:
     def __exit__(self, exc_type, exc, tb) -> bool:
         tel = self._tel
         t1 = tel._wall()
-        tel.spans.append(
+        tel._record_span(
             {
                 "name": self.name,
                 "labels": {k: str(v) for k, v in sorted(self.labels.items())},
@@ -185,6 +187,9 @@ class NullTelemetry:
         """Wall-clock reading for duration math (0.0 when disabled)."""
         return 0.0
 
+    def close(self) -> None:
+        pass
+
 
 NULL_TELEMETRY = NullTelemetry()
 
@@ -197,15 +202,29 @@ class Telemetry(NullTelemetry):
     Symbol time is read from whatever scheduler was last handed to
     :meth:`bind_clock`; before any clock is bound (or after a simulation
     without one) spans and events stamp ``t_sym = -1``.
+
+    ``span_spill`` switches the registry into **streaming** mode: instead of
+    buffering span records in memory, each finished span is written (and
+    flushed) to the given file as its final JSONL line the moment it closes.
+    Counters/gauges/histograms are aggregates and stay in memory either way.
+    The spill file is a valid suffix of the eventual ``telemetry.jsonl`` —
+    :func:`~repro.obs.exporters.export_jsonl` concatenates it verbatim, so
+    the final export is byte-identical to a buffered run, and a crashed run
+    leaves every completed span on disk.
     """
 
     __slots__ = (
         "counters", "gauges", "histograms", "spans",
         "_wall", "_t0", "_clock", "_buckets",
+        "_spill_path", "_spill_file", "_span_line",
     )
     enabled = True
 
-    def __init__(self, wall_clock: Callable[[], float] = time.perf_counter) -> None:
+    def __init__(
+        self,
+        wall_clock: Callable[[], float] = time.perf_counter,
+        span_spill: str | Path | None = None,
+    ) -> None:
         self.counters: dict[_Key, float] = {}
         self.gauges: dict[_Key, float] = {}
         self.histograms: dict[_Key, _Histogram] = {}
@@ -214,6 +233,18 @@ class Telemetry(NullTelemetry):
         self._t0 = wall_clock()
         self._clock = None
         self._buckets: dict[str, tuple[float, ...]] = {}
+        self._spill_path: Path | None = None
+        self._spill_file = None
+        self._span_line = None
+        if span_spill is not None:
+            # Lazy import keeps the dependency one-directional at module
+            # load time (exporters is stdlib-only and never imports us).
+            from repro.obs.exporters import span_line
+
+            self._span_line = span_line
+            self._spill_path = Path(span_spill)
+            self._spill_path.parent.mkdir(parents=True, exist_ok=True)
+            self._spill_file = open(self._spill_path, "w")
 
     # -- clock ---------------------------------------------------------------
     def bind_clock(self, clock: object) -> None:
@@ -267,6 +298,46 @@ class Telemetry(NullTelemetry):
     def span(self, name: str, **labels: object) -> _Span:
         return _Span(self, name, labels)
 
+    # -- span storage (memory or streaming spill) ----------------------------
+    @property
+    def span_spill_path(self) -> Path | None:
+        """Where spans stream to, or ``None`` in (default) buffered mode."""
+        return self._spill_path
+
+    def _record_span(self, record: dict) -> None:
+        if self._spill_file is not None:
+            self._spill_file.write(self._span_line(record) + "\n")
+            self._spill_file.flush()
+        else:
+            self.spans.append(record)
+
+    def flush_spans(self) -> None:
+        """Push any buffered spill bytes to disk (no-op in buffered mode)."""
+        if self._spill_file is not None and not self._spill_file.closed:
+            self._spill_file.flush()
+
+    def iter_spans(self) -> Iterator[dict]:
+        """Span records in record order, wherever they live.
+
+        In buffered mode this iterates the in-memory list; in streaming mode
+        it re-reads the spill file one line at a time (floats round-trip
+        exactly through JSON, so re-exported records are byte-identical).
+        """
+        if self._spill_path is None:
+            yield from self.spans
+            return
+        self.flush_spans()
+        with open(self._spill_path) as handle:
+            for line in handle:
+                record = json.loads(line)
+                record.pop("kind", None)
+                yield record
+
+    def close(self) -> None:
+        """Close the spill file (idempotent; no-op in buffered mode)."""
+        if self._spill_file is not None and not self._spill_file.closed:
+            self._spill_file.close()
+
     # -- snapshot ------------------------------------------------------------
     def histogram_counts(self, name: str, **labels: object) -> dict[float, int]:
         """``{upper bound: count}`` for one histogram (empty if unobserved)."""
@@ -284,6 +355,14 @@ class Telemetry(NullTelemetry):
         Metric entries are sorted by ``(name, labels)``; spans stay in
         record order (they are already ordered by wall-clock start).  This
         is the single structure all three exporters consume.
+        """
+        return {**self.aggregates(), "spans": list(self.iter_spans())}
+
+    def aggregates(self) -> dict:
+        """The snapshot's counter/gauge/histogram part (no spans).
+
+        Split out so the streaming JSONL exporter can emit aggregates from
+        memory and append the span spill verbatim without materialising it.
         """
         return {
             "counters": [
@@ -309,7 +388,6 @@ class Telemetry(NullTelemetry):
                 }
                 for (name, labels), hist in sorted(self.histograms.items())
             ],
-            "spans": list(self.spans),
         }
 
 

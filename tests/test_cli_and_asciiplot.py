@@ -324,3 +324,59 @@ class TestServeSoakCommand:
         # Same outcomes either way (the determinism contract).
         for key in ("delivered", "total_symbols", "makespan", "p99_latency"):
             assert batched[key] == sequential[key]
+
+
+class TestMeshCommand:
+    def test_two_way_json_meets_the_saving_claim(self):
+        import json as _json
+
+        output = main(["mesh", "--smoke", "--json"])
+        summary = _json.loads(output)
+        assert summary["topology"] == "two-way"
+        assert summary["delivered_coded"] == 1.0
+        assert summary["delivered_plain"] == 1.0
+        assert summary["coded_uses"] < summary["plain_uses"]
+        assert summary["saving"] >= 0.25
+
+    def test_with_af_reports_the_composed_snr(self):
+        import json as _json
+
+        summary = _json.loads(main(["mesh", "--smoke", "--with-af", "--json"]))
+        assert summary["af_uses"] > 0
+        assert summary["af_delivered"] == 1.0
+        # Noise accumulates through the relay: strictly below the hop SNR.
+        assert summary["af_effective_snr_a_db"] < summary["snr_a_db"]
+
+    def test_tree_topology_table(self):
+        output = main(
+            ["mesh", "--topology", "tree", "--family", "spinal", "--smoke",
+             "--rounds", "1"]
+        )
+        for key in ("n_leaves", "coded_uses", "plain_uses", "saving"):
+            assert key in output
+
+    def test_butterfly_json_halves_the_shared_link(self):
+        import json as _json
+
+        summary = _json.loads(
+            main(["mesh", "--topology", "butterfly", "--smoke", "--rounds", "1",
+                  "--json"])
+        )
+        assert summary["topology"] == "butterfly"
+        assert summary["delivered_coded"] == 1.0
+        assert summary["shared_link_saving"] >= 0.4
+
+    def test_telemetry_stream_writes_a_validated_directory(self, tmp_path):
+        from repro.obs import validate_directory
+
+        directory = tmp_path / "meshtel"
+        main(
+            ["mesh", "--smoke", "--rounds", "2", "--json",
+             "--telemetry", str(directory), "--telemetry-stream"]
+        )
+        assert (directory / "spans.part.jsonl").exists()
+        assert validate_directory(directory) == []
+
+    def test_stream_without_directory_is_rejected(self):
+        with pytest.raises(ValueError, match="--telemetry-stream"):
+            main(["mesh", "--smoke", "--json", "--telemetry-stream"])

@@ -30,6 +30,7 @@ PUBLIC_PACKAGES = (
     "repro.serve",
     "repro.net",
     "repro.obs",
+    "repro.netcode",
 )
 
 

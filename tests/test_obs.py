@@ -36,6 +36,7 @@ from repro.obs import (
     load_jsonl,
     render_report,
     set_current,
+    span_line,
     validate_directory,
     write_all,
 )
@@ -386,3 +387,95 @@ class TestFigure2Histogram:
         assert tel.counter_value("phy.decode_attempts") == sum(
             r.decode_attempts for r in results
         )
+
+
+# -- streaming span spill -------------------------------------------------------
+
+
+def _exercise(tel: Telemetry) -> Telemetry:
+    """The same workload for a buffered and a streaming sink."""
+
+    class Clock:
+        now = 3
+
+    tel.bind_clock(Clock())
+    tel.counter("link.blocks_sent", 4, hop=0)
+    tel.gauge("serve.queue_depth", 2)
+    tel.observe("phy.symbols_to_decode", 48)
+    with tel.span("serve.decode_batch", width=2):
+        pass
+    with tel.span("netcode.exchange", round=0):
+        with tel.span("netcode.broadcast"):
+            pass
+    return tel
+
+
+class TestStreamingSpill:
+    def test_streaming_export_is_byte_identical_to_buffered(self, tmp_path):
+        buffered = _exercise(Telemetry(wall_clock=_FakeWall()))
+        streaming = _exercise(
+            Telemetry(
+                wall_clock=_FakeWall(), span_spill=tmp_path / "s" / "spans.part.jsonl"
+            )
+        )
+        write_all(buffered, tmp_path / "b")
+        write_all(streaming, tmp_path / "s")
+        streaming.close()
+        for name in ("telemetry.jsonl", "trace.json", "metrics.prom"):
+            assert (tmp_path / "s" / name).read_bytes() == (
+                tmp_path / "b" / name
+            ).read_bytes()
+        assert validate_directory(tmp_path / "s") == []
+
+    def test_spans_spill_incrementally_not_in_memory(self, tmp_path):
+        spill = tmp_path / "spans.part.jsonl"
+        tel = Telemetry(wall_clock=_FakeWall(), span_spill=spill)
+        with tel.span("serve.decode_batch", width=2):
+            pass
+        # Already on disk before any export, and not held in memory.
+        assert tel.spans == []
+        lines = spill.read_text().splitlines()
+        assert len(lines) == 1
+        record = dict(json.loads(lines[0]))
+        assert record.pop("kind") == "span"
+        assert span_line(record) == lines[0]
+        with tel.span("netcode.exchange", round=1):
+            pass
+        assert len(spill.read_text().splitlines()) == 2
+        tel.close()
+
+    def test_iter_spans_round_trips_the_spill(self, tmp_path):
+        buffered = _exercise(Telemetry(wall_clock=_FakeWall()))
+        streaming = _exercise(
+            Telemetry(wall_clock=_FakeWall(), span_spill=tmp_path / "spans.part.jsonl")
+        )
+        streaming.close()
+        assert list(streaming.iter_spans()) == list(buffered.iter_spans())
+        assert streaming.snapshot() == buffered.snapshot()
+        # close() is idempotent and iter_spans still re-reads the file.
+        streaming.close()
+        assert list(streaming.iter_spans()) == buffered.spans
+
+    def test_cli_stream_flag_requires_a_directory(self):
+        from repro.cli import _TelemetryScope
+
+        with pytest.raises(ValueError, match="--telemetry-stream"):
+            _TelemetryScope(None, stream=True)
+
+    def test_cli_scope_streaming_matches_buffered(self, tmp_path):
+        from repro.cli import _TelemetryScope
+
+        def run(directory, stream):
+            with _TelemetryScope(directory, stream=stream) as scope:
+                _exercise(scope.telemetry)
+            return directory
+
+        buffered = run(tmp_path / "b", False)
+        streaming = run(tmp_path / "s", True)
+        assert (streaming / "spans.part.jsonl").exists()
+        assert validate_directory(streaming) == []
+        # Wall-clock durations differ across runs; the span *stream* shape
+        # (header, kinds, names) and the aggregates must match exactly.
+        kinds_b = [json.loads(l)["kind"] for l in (buffered / "telemetry.jsonl").read_text().splitlines()]
+        kinds_s = [json.loads(l)["kind"] for l in (streaming / "telemetry.jsonl").read_text().splitlines()]
+        assert kinds_b == kinds_s
